@@ -1,0 +1,180 @@
+// Package bench is the benchmark harness of the reproduction: one
+// testing.B benchmark per experiment E1-E15 (each regenerates its table
+// in quick mode; see DESIGN.md for the experiment index), plus
+// micro-benchmarks for the substrates the experiments stand on.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"byzcount/internal/counting"
+	"byzcount/internal/expt"
+	"byzcount/internal/graph"
+	"byzcount/internal/sim"
+	"byzcount/internal/xrand"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := expt.Config{Seed: uint64(42 + i), Trials: 1, Quick: true}
+		tbl, err := expt.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// The experiment benchmarks: each regenerates the corresponding table.
+
+func BenchmarkE1(b *testing.B)  { benchExperiment(b, "E1") }  // Theorem 1 sweep
+func BenchmarkE2(b *testing.B)  { benchExperiment(b, "E2") }  // Theorem 1 tolerance
+func BenchmarkE3(b *testing.B)  { benchExperiment(b, "E3") }  // Theorem 2 sweep
+func BenchmarkE4(b *testing.B)  { benchExperiment(b, "E4") }  // Remark 2 distribution
+func BenchmarkE5(b *testing.B)  { benchExperiment(b, "E5") }  // Corollary 1 benign
+func BenchmarkE6(b *testing.B)  { benchExperiment(b, "E6") }  // Section 1.2 baselines
+func BenchmarkE7(b *testing.B)  { benchExperiment(b, "E7") }  // blacklist ablation
+func BenchmarkE8(b *testing.B)  { benchExperiment(b, "E8") }  // Lemma 2 tree-like
+func BenchmarkE9(b *testing.B)  { benchExperiment(b, "E9") }  // message sizes
+func BenchmarkE10(b *testing.B) { benchExperiment(b, "E10") } // Theorem 3 dumbbell
+func BenchmarkE11(b *testing.B) { benchExperiment(b, "E11") } // Section 1.1 application
+func BenchmarkE12(b *testing.B) { benchExperiment(b, "E12") } // placement sensitivity
+func BenchmarkE13(b *testing.B) { benchExperiment(b, "E13") } // crash-fault churn (extension)
+func BenchmarkE14(b *testing.B) { benchExperiment(b, "E14") } // topology sensitivity (extension)
+func BenchmarkE15(b *testing.B) { benchExperiment(b, "E15") } // join/leave churn (extension)
+
+// Substrate micro-benchmarks.
+
+func BenchmarkHNDGeneration(b *testing.B) {
+	for _, n := range []int{1024, 8192} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := xrand.New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.HND(n, 8, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	rng := xrand.New(2)
+	g, err := graph.HND(8192, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFS(i % g.N())
+	}
+}
+
+func BenchmarkTreeLikeCheck(b *testing.B) {
+	rng := xrand.New(3)
+	g, err := graph.HND(4096, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := graph.TreeLikeRadius(4096, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.IsLocallyTreeLike(i%g.N(), r, 8)
+	}
+}
+
+// floodBenchProc is a minimal engine-throughput workload: every node
+// broadcasts a small payload every round.
+type floodBenchProc struct{ rounds int }
+
+type benchPayload struct{}
+
+func (benchPayload) SizeBits() int { return 64 }
+
+func (f *floodBenchProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
+	f.rounds++
+	return env.Broadcast(benchPayload{})
+}
+func (f *floodBenchProc) Halted() bool { return false }
+
+func BenchmarkEngineRoundThroughput(b *testing.B) {
+	rng := xrand.New(4)
+	g, err := graph.HND(1024, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.NewEngine(g, 5)
+	procs := make([]sim.Proc, g.N())
+	for v := range procs {
+		procs[v] = &floodBenchProc{}
+	}
+	if err := eng.Attach(procs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := eng.Run(b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	msgs := eng.Metrics().Messages
+	if b.N > 0 {
+		b.ReportMetric(float64(msgs)/float64(b.N), "msgs/round")
+	}
+}
+
+func BenchmarkCongestBenignRun(b *testing.B) {
+	rng := xrand.New(6)
+	g, err := graph.HND(256, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := counting.DefaultCongestParams(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(g, uint64(i))
+		procs := make([]sim.Proc, g.N())
+		for v := range procs {
+			procs[v] = counting.NewCongestProc(params)
+		}
+		if err := eng.Attach(procs); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(params.Schedule.RoundsThroughPhase(params.MaxPhase + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalBenignRun(b *testing.B) {
+	rng := xrand.New(7)
+	g, err := graph.HND(128, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := counting.DefaultLocalParams(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(g, uint64(i))
+		procs := make([]sim.Proc, g.N())
+		for v := range procs {
+			procs[v] = counting.NewLocalProc(params)
+		}
+		if err := eng.Attach(procs); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(params.MaxRounds + 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Command byzcount runs the Byzantine counting protocols and the
+// reproduction experiments from the command line.
+//
+// Usage:
+//
+//	byzcount list
+//	byzcount expt <id> [-seed N] [-trials N] [-quick]
+//	byzcount all [-seed N] [-trials N] [-quick]
+//	byzcount run [-proto congest|local|geometric|support] [-n N] [-d D]
+//	             [-byz B] [-attack spam|silent|fake] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"byzcount/internal/byzantine"
+	"byzcount/internal/counting"
+	"byzcount/internal/expt"
+	"byzcount/internal/graph"
+	"byzcount/internal/report"
+	"byzcount/internal/sim"
+	"byzcount/internal/stats"
+	"byzcount/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "byzcount:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "list":
+		fmt.Println("experiments (see DESIGN.md for the claim each reproduces):")
+		for _, id := range expt.IDs() {
+			fmt.Println(" ", id)
+		}
+		return nil
+	case "expt":
+		return exptCmd(args[1:], false)
+	case "all":
+		return exptCmd(args[1:], true)
+	case "run":
+		return runCmd(args[1:])
+	case "graph":
+		return graphCmd(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  byzcount list                         list experiment IDs
+  byzcount expt <id> [flags]            run one experiment and print its table
+  byzcount all [flags]                  run every experiment
+  byzcount run [flags]                  run a single protocol instance
+  byzcount graph [flags]                generate a substrate and print its statistics
+flags for expt/all: -seed N  -trials N  -quick
+flags for run:      -proto congest|local|geometric|support  -n N  -d D
+                    -byz B  -attack spam|silent|fake  -seed N
+flags for graph:    -kind hnd|regular|smallworld|ring|torus|dumbbell  -n N  -d D
+                    -seed N  -out FILE`)
+}
+
+func exptCmd(args []string, all bool) error {
+	fs := flag.NewFlagSet("expt", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 42, "root random seed")
+	trials := fs.Int("trials", 3, "trials per row")
+	quick := fs.Bool("quick", false, "shrunken sweeps")
+	format := fs.String("format", "table", "output format: table|csv")
+	var id string
+	rest := args
+	if !all {
+		if len(args) == 0 {
+			return fmt.Errorf("expt requires an experiment id")
+		}
+		id = args[0]
+		rest = args[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	cfg := expt.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	ids := []string{id}
+	if all {
+		ids = expt.IDs()
+	}
+	for _, x := range ids {
+		tbl, err := expt.Run(x, cfg)
+		if err != nil {
+			return err
+		}
+		if *format == "csv" {
+			fmt.Printf("# %s — %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
+		} else {
+			fmt.Println(tbl.Render())
+		}
+	}
+	return nil
+}
+
+func graphCmd(args []string) error {
+	fs := flag.NewFlagSet("graph", flag.ContinueOnError)
+	kind := fs.String("kind", "hnd", "hnd|regular|smallworld|ring|torus|dumbbell")
+	n := fs.Int("n", 256, "network size (per side for dumbbell)")
+	d := fs.Int("d", 8, "degree parameter")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "", "write edge list to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := xrand.New(*seed)
+	var g *graph.Graph
+	var err error
+	switch *kind {
+	case "hnd":
+		g, err = graph.HND(*n, *d, rng)
+	case "regular":
+		g, err = graph.SimpleRegular(*n, *d, 100, rng)
+	case "smallworld":
+		g, err = graph.WattsStrogatz(*n, max(*d/2, 1), 0.1, rng)
+	case "ring":
+		g, err = graph.Ring(*n)
+	case "torus":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		g, err = graph.Torus(side, side)
+	case "dumbbell":
+		g, _, err = graph.Dumbbell(*n, *n, *d, rng)
+	default:
+		return fmt.Errorf("unknown graph kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kind=%s n=%d m=%d min_deg=%d max_deg=%d simple=%v connected=%v\n",
+		*kind, g.N(), g.M(), g.MinDegree(), g.MaxDegree(), g.IsSimple(), g.IsConnected())
+	if g.IsConnected() {
+		if diam, err := g.ApproxDiameter(0); err == nil {
+			fmt.Printf("approx_diameter=%d\n", diam)
+		}
+	}
+	fmt.Printf("vertex_expansion_estimate=%.4f (BFS sweep upper bound)\n",
+		g.EstimateVertexExpansion(8, rng.Split("sweep")))
+	fmt.Printf("cheeger_spectral_lower_bound=%.4f\n",
+		g.CheegerBoundSpectral(100, rng.Split("spectral")))
+	r := graph.TreeLikeRadius(g.N(), *d)
+	fmt.Printf("treelike_fraction(r=%d)=%.4f\n", r, g.TreeLikeFraction(r, *d))
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := g.WriteEdgeList(f); err != nil {
+			return err
+		}
+		fmt.Printf("edge list written to %s\n", *out)
+	}
+	return nil
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	proto := fs.String("proto", "congest", "protocol: congest|local|geometric|support")
+	n := fs.Int("n", 256, "network size")
+	d := fs.Int("d", 8, "degree (even for H(n,d))")
+	byzN := fs.Int("byz", 0, "number of Byzantine nodes")
+	attack := fs.String("attack", "spam", "attack: spam|silent|fake")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := xrand.New(*seed)
+	g, err := graph.HND(*n, *d, rng.Split("graph"))
+	if err != nil {
+		return err
+	}
+	var byz []bool
+	if *byzN > 0 {
+		byz, err = byzantine.RandomPlacement(g, *byzN, rng.Split("place"))
+		if err != nil {
+			return err
+		}
+	} else {
+		byz = make([]bool, g.N())
+	}
+
+	eng := sim.NewEngine(g, rng.Split("engine").Uint64())
+	procs := make([]sim.Proc, g.N())
+	var maxRounds int
+
+	var congestParams counting.CongestParams
+	var localParams counting.LocalParams
+	switch *proto {
+	case "congest":
+		congestParams = counting.DefaultCongestParams(*d)
+		congestParams.MaxPhase = 12
+		maxRounds = congestParams.Schedule.RoundsThroughPhase(congestParams.MaxPhase + 1)
+	case "local":
+		localParams = counting.DefaultLocalParams(*d + 2)
+		maxRounds = localParams.MaxRounds + 8
+	case "geometric", "support":
+		maxRounds = 50 * (*n)
+	default:
+		return fmt.Errorf("unknown protocol %q", *proto)
+	}
+
+	var world *byzantine.FakeWorld
+	if *attack == "fake" {
+		world, err = byzantine.NewFakeWorld(2*(*n), *d, *d+2, max(*byzN, 1), rng.Split("world"))
+		if err != nil {
+			return err
+		}
+	}
+	for v := range procs {
+		if byz[v] {
+			switch *attack {
+			case "silent":
+				procs[v] = byzantine.Silent{}
+			case "fake":
+				procs[v] = byzantine.NewFakeNetworkLocal(world, 1)
+			default: // spam
+				switch *proto {
+				case "congest":
+					procs[v] = byzantine.NewBeaconSpammer(congestParams.Schedule, 6, false, rng.SplitN("spam", v))
+				case "geometric":
+					procs[v] = &byzantine.GeoMaxFaker{FakeValue: 1 << 20, Period: 1}
+				case "support":
+					procs[v] = &byzantine.SupportMinFaker{K: 32, Period: 4}
+				default:
+					procs[v] = byzantine.Silent{}
+				}
+			}
+			continue
+		}
+		switch *proto {
+		case "congest":
+			procs[v] = counting.NewCongestProc(congestParams)
+		case "local":
+			procs[v] = counting.NewLocalProc(localParams)
+		case "geometric":
+			procs[v] = counting.NewGeometricProc(16)
+		case "support":
+			procs[v] = counting.NewSupportProc(32, 16)
+		}
+	}
+	if err := eng.Attach(procs); err != nil {
+		return err
+	}
+	eng.SetStopCondition(func(round int) bool {
+		for v, p := range procs {
+			if byz[v] {
+				continue
+			}
+			if e, ok := p.(counting.Estimator); ok && !e.Outcome().Decided {
+				return false
+			}
+		}
+		return true
+	})
+	rounds, err := eng.Run(maxRounds)
+	if err != nil {
+		return err
+	}
+
+	outcomes := counting.Outcomes(procs)
+	honest := byzantine.HonestMask(byz)
+	hist := stats.NewHistogram()
+	for _, e := range counting.DecidedEstimates(outcomes, honest) {
+		hist.Add(e)
+	}
+	m := eng.Metrics()
+	fmt.Printf("protocol=%s n=%d d=%d byz=%d attack=%s seed=%d\n",
+		*proto, *n, *d, *byzN, *attack, *seed)
+	fmt.Printf("rounds=%d messages=%d bits=%d max_msg_bits=%d\n",
+		rounds, m.Messages, m.Bits, m.MaxMsgBits)
+	fmt.Printf("decided_fraction=%.4f\n", counting.DecidedFraction(outcomes, honest))
+	fmt.Printf("estimate histogram (value:count): %s\n", hist)
+	fmt.Printf("reference: log2(n)=%.2f log_%d(n)=%.2f\n",
+		counting.Log2(*n), *d, counting.LogD(*n, *d))
+	if len(m.MessagesByRound) > 1 {
+		series := report.Downsample(report.Ints(m.MessagesByRound), 100)
+		fmt.Printf("traffic per round (downsampled): %s\n", report.Sparkline(series))
+	}
+	return nil
+}

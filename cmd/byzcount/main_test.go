@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+}
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	if err := run([]string{"help"}); err != nil {
+		t.Fatalf("help failed: %v", err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatalf("list failed: %v", err)
+	}
+}
+
+func TestExptRequiresID(t *testing.T) {
+	if err := run([]string{"expt"}); err == nil {
+		t.Fatal("expt without id accepted")
+	}
+}
+
+func TestExptUnknownID(t *testing.T) {
+	if err := run([]string{"expt", "E99", "-quick", "-trials", "1"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExptQuick(t *testing.T) {
+	if err := run([]string{"expt", "E8", "-quick", "-trials", "1"}); err != nil {
+		t.Fatalf("expt E8 failed: %v", err)
+	}
+}
+
+func TestExptCSVFormat(t *testing.T) {
+	if err := run([]string{"expt", "E8", "-quick", "-trials", "1", "-format", "csv"}); err != nil {
+		t.Fatalf("csv format failed: %v", err)
+	}
+}
+
+func TestRunProtocolCongest(t *testing.T) {
+	if err := run([]string{"run", "-proto", "congest", "-n", "64", "-d", "8", "-byz", "2"}); err != nil {
+		t.Fatalf("run congest failed: %v", err)
+	}
+}
+
+func TestRunProtocolLocalFakeAttack(t *testing.T) {
+	if err := run([]string{"run", "-proto", "local", "-n", "64", "-d", "8", "-byz", "2", "-attack", "fake"}); err != nil {
+		t.Fatalf("run local fake failed: %v", err)
+	}
+}
+
+func TestRunProtocolGeometricSilent(t *testing.T) {
+	if err := run([]string{"run", "-proto", "geometric", "-n", "64", "-byz", "1", "-attack", "silent"}); err != nil {
+		t.Fatalf("run geometric failed: %v", err)
+	}
+}
+
+func TestRunProtocolSupport(t *testing.T) {
+	if err := run([]string{"run", "-proto", "support", "-n", "64", "-byz", "1"}); err != nil {
+		t.Fatalf("run support failed: %v", err)
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	if err := run([]string{"run", "-proto", "bogus"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestGraphCmdKinds(t *testing.T) {
+	for _, kind := range []string{"hnd", "regular", "smallworld", "ring", "torus", "dumbbell"} {
+		if err := run([]string{"graph", "-kind", kind, "-n", "64", "-d", "4"}); err != nil {
+			t.Fatalf("graph %s failed: %v", kind, err)
+		}
+	}
+	if err := run([]string{"graph", "-kind", "bogus"}); err == nil {
+		t.Fatal("unknown graph kind accepted")
+	}
+}
+
+func TestGraphCmdWritesEdgeList(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.edges")
+	if err := run([]string{"graph", "-kind", "ring", "-n", "16", "-out", out}); err != nil {
+		t.Fatalf("graph -out failed: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "n 16\n") {
+		t.Errorf("edge list header wrong: %q", string(data[:16]))
+	}
+	if strings.Count(string(data), "\n") != 17 { // header + 16 edges
+		t.Errorf("edge list line count wrong:\n%s", data)
+	}
+}

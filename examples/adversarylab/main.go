@@ -1,0 +1,131 @@
+// Adversary lab: the same network, five adversaries. Shows (a) why the
+// folklore geometric protocol is hopeless against a single Byzantine
+// node, and (b) how Algorithm 2's blacklisting confines beacon spam,
+// comparing benign / spam / spam-without-blacklists / silent runs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"byzcount/internal/byzantine"
+	"byzcount/internal/counting"
+	"byzcount/internal/graph"
+	"byzcount/internal/sim"
+	"byzcount/internal/stats"
+	"byzcount/internal/xrand"
+)
+
+const (
+	n    = 256
+	d    = 8
+	seed = 23
+)
+
+func main() {
+	rng := xrand.New(seed)
+	g, err := graph.HND(n, d, rng.Split("graph"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: H(n=%d, d=%d), truth log_%d(n)=%.2f log2(n)=%.2f\n\n",
+		n, d, d, counting.LogD(n, d), counting.Log2(n))
+
+	// The folklore baseline first: exact benignly, destroyed by ONE liar.
+	geo(g, rng, 0)
+	geo(g, rng, 1)
+	fmt.Println()
+
+	// The paper's CONGEST algorithm under increasingly hostile setups.
+	congest(g, rng, "benign           ", 0, false, nil)
+	congest(g, rng, "beacon spam      ", 12, false, nil)
+	congest(g, rng, "spam, no blacklist", 12, true, nil)
+	congest(g, rng, "silent cluster   ", 12, false, byzantine.ClusteredPlacement)
+}
+
+func geo(g *graph.Graph, rng *xrand.Rand, nByz int) {
+	byz := make([]bool, g.N())
+	if nByz > 0 {
+		mask, err := byzantine.RandomPlacement(g, nByz, rng.Split("geoplace"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		byz = mask
+	}
+	eng := sim.NewEngine(g, rng.SplitN("geo", nByz).Uint64())
+	procs := make([]sim.Proc, g.N())
+	for v := range procs {
+		if byz[v] {
+			procs[v] = &byzantine.GeoMaxFaker{FakeValue: 1 << 20, Period: 1}
+		} else {
+			procs[v] = counting.NewGeometricProc(16)
+		}
+	}
+	if err := eng.Attach(procs); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.Run(4000); err != nil {
+		log.Fatal(err)
+	}
+	vals := counting.DecidedEstimates(counting.Outcomes(procs), byzantine.HonestMask(byz))
+	fmt.Printf("geometric baseline, %d byzantine: median estimate %.0f (want ~log2 n = %.1f)\n",
+		nByz, stats.Median(stats.Ints(vals)), counting.Log2(g.N()))
+}
+
+func congest(g *graph.Graph, rng *xrand.Rand, label string, nByz int,
+	disableBL bool, place byzantine.Placement) {
+	if place == nil {
+		place = byzantine.RandomPlacement
+	}
+	byz := make([]bool, g.N())
+	if nByz > 0 {
+		mask, err := place(g, nByz, rng.Split("place"+label))
+		if err != nil {
+			log.Fatal(err)
+		}
+		byz = mask
+	}
+	params := counting.DefaultCongestParams(d)
+	params.MaxPhase = 10
+	params.DisableBlacklist = disableBL
+	eng := sim.NewEngine(g, rng.Split("eng"+label).Uint64())
+	procs := make([]sim.Proc, g.N())
+	for v := range procs {
+		if byz[v] {
+			if label[:6] == "silent" {
+				procs[v] = byzantine.Silent{}
+			} else {
+				procs[v] = byzantine.NewBeaconSpammer(params.Schedule, 6, false, rng.SplitN("spam"+label, v))
+			}
+		} else {
+			procs[v] = counting.NewCongestProc(params)
+		}
+	}
+	if err := eng.Attach(procs); err != nil {
+		log.Fatal(err)
+	}
+	eng.SetStopCondition(func(round int) bool {
+		for v, p := range procs {
+			if byz[v] {
+				continue
+			}
+			if e, ok := p.(counting.Estimator); ok && !e.Outcome().Decided {
+				return false
+			}
+		}
+		return true
+	})
+	rounds, err := eng.Run(params.Schedule.RoundsThroughPhase(params.MaxPhase + 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	honest := byzantine.HonestMask(byz)
+	outcomes := counting.Outcomes(procs)
+	hist := stats.NewHistogram()
+	for _, e := range counting.DecidedEstimates(outcomes, honest) {
+		hist.Add(e)
+	}
+	mode, _ := hist.Mode()
+	fmt.Printf("congest | %s | byz=%2d rounds=%6d mode=%d within±1=%.2f histogram=%s\n",
+		label, nByz, rounds, mode, hist.Fraction(mode-1, mode+1), hist)
+}

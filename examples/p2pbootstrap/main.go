@@ -1,0 +1,105 @@
+// P2P bootstrap: the Section 1.1 application pipeline. A peer-to-peer
+// network of unknown size first runs Byzantine counting to obtain an
+// estimate of log n, then uses that estimate to parameterize the
+// sampling-plus-majority Byzantine agreement protocol of Augustine,
+// Pandurangan & Robinson (PODC'13) — the protocol that otherwise assumes
+// log n is known a priori.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"byzcount/internal/agreement"
+	"byzcount/internal/byzantine"
+	"byzcount/internal/counting"
+	"byzcount/internal/graph"
+	"byzcount/internal/sim"
+	"byzcount/internal/stats"
+	"byzcount/internal/xrand"
+)
+
+func main() {
+	const (
+		n    = 512
+		d    = 8
+		nByz = 4
+		seed = 11
+	)
+	rng := xrand.New(seed)
+	g, err := graph.HND(n, d, rng.Split("graph"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	byz, err := byzantine.RandomPlacement(g, nByz, rng.Split("place"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	honest := byzantine.HonestMask(byz)
+
+	// Phase 1: Byzantine counting (Algorithm 2) under beacon spam.
+	params := counting.DefaultCongestParams(d)
+	params.MaxPhase = 12
+	eng := sim.NewEngine(g, rng.Split("eng1").Uint64())
+	procs := make([]sim.Proc, n)
+	for v := range procs {
+		if byz[v] {
+			procs[v] = byzantine.NewBeaconSpammer(params.Schedule, 6, false, rng.SplitN("spam", v))
+		} else {
+			procs[v] = counting.NewCongestProc(params)
+		}
+	}
+	if err := eng.Attach(procs); err != nil {
+		log.Fatal(err)
+	}
+	eng.SetStopCondition(func(round int) bool {
+		for v, p := range procs {
+			if byz[v] {
+				continue
+			}
+			if e, ok := p.(counting.Estimator); ok && !e.Outcome().Decided {
+				return false
+			}
+		}
+		return true
+	})
+	rounds, err := eng.Run(params.Schedule.RoundsThroughPhase(params.MaxPhase + 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	outcomes := counting.Outcomes(procs)
+	hist := stats.NewHistogram()
+	for _, e := range counting.DecidedEstimates(outcomes, honest) {
+		hist.Add(e)
+	}
+	logEst, _ := hist.Mode()
+	fmt.Printf("phase 1 (counting): %d rounds, modal log-estimate %d (truth log_%d n = %.2f)\n",
+		rounds, logEst, d, counting.LogD(n, d))
+
+	// Phase 2: agreement, parameterized by the counting estimate. Honest
+	// nodes start with a 70/30 split; Byzantine nodes flip tokens.
+	aParams := agreement.FromEstimate(logEst)
+	eng2 := sim.NewEngine(g, rng.Split("eng2").Uint64())
+	procs2 := make([]sim.Proc, n)
+	for v := range procs2 {
+		if byz[v] {
+			procs2[v] = &agreement.ValueFlipper{Prefer: 0, Extra: 1}
+			continue
+		}
+		var bit byte = 1
+		if v%10 < 3 {
+			bit = 0
+		}
+		procs2[v] = agreement.NewProc(aParams, bit)
+	}
+	if err := eng2.Attach(procs2); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng2.Run(aParams.TotalRounds() + 4); err != nil {
+		log.Fatal(err)
+	}
+	success := agreement.AgreementFraction(procs2, honest, 1)
+	fmt.Printf("phase 2 (agreement): walks of %d steps, %d iterations -> %.1f%% of honest nodes agree on the majority bit\n",
+		aParams.WalkLen, aParams.Iterations, 100*success)
+	fmt.Println("the counting estimate replaced the protocol's a-priori knowledge of log n (Section 1.1)")
+}

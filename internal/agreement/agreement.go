@@ -1,0 +1,226 @@
+// Package agreement implements the almost-everywhere binary Byzantine
+// agreement protocol sketched in Section 1.1 of the paper (the protocol
+// of Augustine, Pandurangan & Robinson, PODC'13): nodes sample other
+// nodes approximately uniformly via random walks of Θ(log n) steps (the
+// mixing time of a bounded-degree expander) and repeatedly update their
+// value to the majority of their own value and two sampled values.
+//
+// The protocol needs a constant-factor upper bound on log n for two
+// things — the walk length and the iteration count — and that is exactly
+// what the paper's Byzantine counting protocols provide. This package is
+// the "application" of the reproduction: E11 runs it with an oracle
+// log n, with a counting-derived estimate, and with a deliberately
+// undersized estimate, showing that the counting output is sufficient
+// and that no estimate is not.
+package agreement
+
+import (
+	"byzcount/internal/sim"
+)
+
+// Token is a random-walk token carrying the value of its origin at launch
+// time. Tokens take one uniform-random step per round.
+type Token struct {
+	Value byte
+}
+
+// SizeBits is a small constant.
+func (Token) SizeBits() int { return 16 + 8 }
+
+// Params configures the sampling-plus-majority protocol.
+type Params struct {
+	// WalkLen is the number of random-walk steps per iteration — the
+	// mixing-time surrogate, c * logEstimate.
+	WalkLen int
+	// Iterations is the number of majority-update iterations, also
+	// Θ(log n).
+	Iterations int
+	// TokensPerNode is how many walk tokens each node launches per
+	// iteration; the first two arrivals are used as samples.
+	TokensPerNode int
+}
+
+// FromEstimate derives protocol parameters from a log-size estimate, the
+// preprocessing contract of Section 1.1: any constant-factor upper bound
+// of log n yields correct walks and enough iterations.
+func FromEstimate(logEstimate int) Params {
+	if logEstimate < 1 {
+		logEstimate = 1
+	}
+	return Params{
+		WalkLen:       2*logEstimate + 2,
+		Iterations:    2*logEstimate + 2,
+		TokensPerNode: 4,
+	}
+}
+
+// IterationRounds returns the rounds per iteration (walk plus the landing
+// round).
+func (p Params) IterationRounds() int { return p.WalkLen + 1 }
+
+// TotalRounds returns the full protocol length in rounds.
+func (p Params) TotalRounds() int { return p.Iterations * p.IterationRounds() }
+
+// Proc is the per-node agreement process.
+type Proc struct {
+	params Params
+	value  byte
+	done   bool
+
+	samples []byte
+}
+
+var _ sim.Proc = (*Proc)(nil)
+
+// NewProc returns an agreement process with the given initial bit (0/1).
+func NewProc(params Params, initial byte) *Proc {
+	if initial > 1 {
+		initial = 1
+	}
+	return &Proc{params: params, value: initial}
+}
+
+// Value returns the node's current (and after TotalRounds, final) value.
+func (p *Proc) Value() byte { return p.value }
+
+// Halted reports completion of all iterations.
+func (p *Proc) Halted() bool { return p.done }
+
+// Step launches tokens at iteration starts, forwards in-flight tokens one
+// random hop per round, and applies the majority rule when tokens land.
+func (p *Proc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
+	iterLen := p.params.IterationRounds()
+	iter := round / iterLen
+	offset := round % iterLen
+	if iter >= p.params.Iterations {
+		p.done = true
+		return nil
+	}
+
+	var out []sim.Outgoing
+	switch {
+	case offset == 0:
+		// Launch fresh tokens carrying the current value.
+		p.samples = p.samples[:0]
+		for i := 0; i < p.params.TokensPerNode; i++ {
+			out = append(out, p.hop(env, Token{Value: p.value}))
+		}
+	case offset < p.params.WalkLen:
+		// Forward arriving tokens one more uniform step, under the token
+		// budget of the PODC'13 protocol: a node relays at most a
+		// constant multiple of the legitimate per-node token rate,
+		// dropping a uniform random subset of any excess. The budget is
+		// what keeps a flooding Byzantine node from swamping the pool.
+		tokens := collectTokens(in)
+		budget := 3 * p.params.TokensPerNode
+		if len(tokens) > budget {
+			env.Rand.Shuffle(len(tokens), func(i, j int) { tokens[i], tokens[j] = tokens[j], tokens[i] })
+			tokens = tokens[:budget]
+		}
+		for _, tok := range tokens {
+			out = append(out, p.hop(env, tok))
+		}
+	default:
+		// Landing round: sample two arriving tokens uniformly at random
+		// (inbox order is vertex order, which an adversary could exploit).
+		p.samples = p.samples[:0]
+		for _, tok := range collectTokens(in) {
+			p.samples = append(p.samples, tok.Value)
+		}
+		if len(p.samples) >= 2 {
+			i := env.Rand.Intn(len(p.samples))
+			j := env.Rand.Intn(len(p.samples) - 1)
+			if j >= i {
+				j++
+			}
+			ones := int(p.value)
+			for _, s := range []byte{p.samples[i], p.samples[j]} {
+				if s > 0 {
+					ones++
+				}
+			}
+			if ones >= 2 {
+				p.value = 1
+			} else {
+				p.value = 0
+			}
+		}
+		if iter == p.params.Iterations-1 {
+			p.done = true
+		}
+	}
+	return out
+}
+
+func collectTokens(in []sim.Incoming) []Token {
+	var tokens []Token
+	for _, m := range in {
+		if tok, ok := m.Payload.(Token); ok {
+			tokens = append(tokens, tok)
+		}
+	}
+	return tokens
+}
+
+func (p *Proc) hop(env *sim.Env, tok Token) sim.Outgoing {
+	return sim.Outgoing{
+		To:      env.Neighbors[env.Rand.Intn(len(env.Neighbors))],
+		Payload: tok,
+	}
+}
+
+// ValueFlipper is the Byzantine adversary for agreement: it flips every
+// token passing through it and seeds extra tokens of its chosen value.
+type ValueFlipper struct {
+	Prefer byte
+	Extra  int
+}
+
+var _ sim.Proc = (*ValueFlipper)(nil)
+
+// Halted is always false.
+func (f *ValueFlipper) Halted() bool { return false }
+
+// Step forwards flipped tokens and injects Extra tokens of the preferred
+// value each round.
+func (f *ValueFlipper) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
+	var out []sim.Outgoing
+	for _, m := range in {
+		if tok, ok := m.Payload.(Token); ok {
+			flipped := Token{Value: 1 - min(tok.Value, 1)}
+			out = append(out, sim.Outgoing{
+				To:      env.Neighbors[env.Rand.Intn(len(env.Neighbors))],
+				Payload: flipped,
+			})
+		}
+	}
+	for i := 0; i < f.Extra; i++ {
+		out = append(out, sim.Outgoing{
+			To:      env.Neighbors[env.Rand.Intn(len(env.Neighbors))],
+			Payload: Token{Value: f.Prefer},
+		})
+	}
+	return out
+}
+
+// AgreementFraction returns the fraction of honest nodes holding `value`.
+func AgreementFraction(procs []sim.Proc, honest []bool, value byte) float64 {
+	total, match := 0, 0
+	for v, p := range procs {
+		if !honest[v] {
+			continue
+		}
+		ap, ok := p.(*Proc)
+		if !ok {
+			continue
+		}
+		total++
+		if ap.Value() == value {
+			match++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(match) / float64(total)
+}

@@ -1,0 +1,140 @@
+package agreement
+
+import (
+	"testing"
+
+	"byzcount/internal/graph"
+	"byzcount/internal/sim"
+	"byzcount/internal/xrand"
+)
+
+func runAgreement(t *testing.T, n, d int, params Params, initial func(v int) byte,
+	byz []bool, mkByz func(v int) sim.Proc, seed uint64) ([]sim.Proc, []bool) {
+	t.Helper()
+	g, err := graph.HND(n, d, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(g, seed+1)
+	procs := make([]sim.Proc, n)
+	honest := make([]bool, n)
+	for v := range procs {
+		if byz != nil && byz[v] {
+			procs[v] = mkByz(v)
+		} else {
+			honest[v] = true
+			procs[v] = NewProc(params, initial(v))
+		}
+	}
+	if err := eng.Attach(procs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(params.TotalRounds() + 4); err != nil {
+		t.Fatal(err)
+	}
+	return procs, honest
+}
+
+func TestFromEstimate(t *testing.T) {
+	p := FromEstimate(5)
+	if p.WalkLen != 12 || p.Iterations != 12 || p.TokensPerNode != 4 {
+		t.Errorf("params = %+v", p)
+	}
+	if q := FromEstimate(0); q.WalkLen != 4 {
+		t.Errorf("degenerate estimate params = %+v", q)
+	}
+	if p.IterationRounds() != 13 || p.TotalRounds() != 156 {
+		t.Errorf("round math wrong: %d %d", p.IterationRounds(), p.TotalRounds())
+	}
+}
+
+func TestBenignUnanimousStaysUnanimous(t *testing.T) {
+	params := FromEstimate(8)
+	procs, honest := runAgreement(t, 128, 8, params, func(v int) byte { return 1 }, nil, nil, 1)
+	if f := AgreementFraction(procs, honest, 1); f != 1 {
+		t.Errorf("unanimity broken: %g", f)
+	}
+}
+
+func TestBenignMajorityConverges(t *testing.T) {
+	// 75/25 split must converge to the 75% value for almost all nodes.
+	params := FromEstimate(8)
+	procs, honest := runAgreement(t, 256, 8, params, func(v int) byte {
+		if v%4 == 0 {
+			return 0
+		}
+		return 1
+	}, nil, nil, 2)
+	if f := AgreementFraction(procs, honest, 1); f < 0.95 {
+		t.Errorf("majority convergence only %g", f)
+	}
+}
+
+func TestByzantineMinorityCannotFlip(t *testing.T) {
+	// B = 4 = O(sqrt(n)) Byzantine flippers, with walk length derived
+	// from a counting-style estimate (log_d n scale, as the counting
+	// protocols produce — shorter walks also intersect fewer Byzantine
+	// nodes, which is part of why the pipeline works).
+	const n = 256
+	byz := make([]bool, n)
+	rng := xrand.New(3)
+	for _, v := range rng.Sample(n, 4) {
+		byz[v] = true
+	}
+	params := FromEstimate(4)
+	procs, honest := runAgreement(t, n, 8, params, func(v int) byte {
+		if v%4 == 0 {
+			return 0
+		}
+		return 1
+	}, byz, func(v int) sim.Proc {
+		return &ValueFlipper{Prefer: 0, Extra: 1}
+	}, 4)
+	if f := AgreementFraction(procs, honest, 1); f < 0.75 {
+		t.Errorf("byzantine flipped the majority: only %g hold 1", f)
+	}
+}
+
+func TestUndersizedEstimateFails(t *testing.T) {
+	// The contrast that motivates counting as preprocessing: walks of
+	// length far below the mixing time with only one iteration do not mix
+	// and the minority survives.
+	tiny := Params{WalkLen: 1, Iterations: 1, TokensPerNode: 4}
+	procs, honest := runAgreement(t, 256, 8, tiny, func(v int) byte {
+		if v%4 == 0 {
+			return 0
+		}
+		return 1
+	}, nil, nil, 5)
+	if f := AgreementFraction(procs, honest, 1); f > 0.97 {
+		t.Errorf("undersized estimate still converged (%g); contrast experiment would be vacuous", f)
+	}
+}
+
+func TestProcHalts(t *testing.T) {
+	params := Params{WalkLen: 2, Iterations: 2, TokensPerNode: 1}
+	p := NewProc(params, 1)
+	if p.Halted() {
+		t.Error("fresh proc halted")
+	}
+	env := &sim.Env{Vertex: 0, Neighbors: []int{1}, Rand: xrand.New(1)}
+	for r := 0; r < params.TotalRounds()+1; r++ {
+		p.Step(env, r, nil)
+	}
+	if !p.Halted() {
+		t.Error("proc did not halt after TotalRounds")
+	}
+}
+
+func TestInitialValueClamped(t *testing.T) {
+	p := NewProc(FromEstimate(3), 7)
+	if p.Value() != 1 {
+		t.Errorf("initial value not clamped: %d", p.Value())
+	}
+}
+
+func TestAgreementFractionEmpty(t *testing.T) {
+	if AgreementFraction(nil, nil, 1) != 0 {
+		t.Error("empty fraction")
+	}
+}

@@ -1,0 +1,218 @@
+package byzantine
+
+import (
+	"testing"
+
+	"byzcount/internal/counting"
+	"byzcount/internal/graph"
+	"byzcount/internal/sim"
+	"byzcount/internal/xrand"
+)
+
+// runCongest wires honest CongestProcs and the given adversary factory
+// onto a graph and runs to completion.
+func runCongest(t *testing.T, g *graph.Graph, byz []bool, params counting.CongestParams,
+	mkByz func(v int) sim.Proc, seed uint64) ([]counting.Outcome, []sim.Proc) {
+	t.Helper()
+	eng := sim.NewEngine(g, seed)
+	procs := make([]sim.Proc, g.N())
+	for v := range procs {
+		if byz[v] {
+			procs[v] = mkByz(v)
+		} else {
+			procs[v] = NewCongestProc(params)
+		}
+	}
+	if err := eng.Attach(procs); err != nil {
+		t.Fatal(err)
+	}
+	// Stop once every honest node has decided AND the schedule passed the
+	// max phase (so adversarial stalling cannot hang the test).
+	eng.SetStopCondition(func(round int) bool {
+		for v, p := range procs {
+			if byz[v] {
+				continue
+			}
+			if e, ok := p.(counting.Estimator); ok && !e.Outcome().Decided {
+				return false
+			}
+		}
+		return true
+	})
+	maxRounds := params.Schedule.RoundsThroughPhase(params.MaxPhase + 1)
+	if _, err := eng.Run(maxRounds); err != nil {
+		t.Fatal(err)
+	}
+	return counting.Outcomes(procs), procs
+}
+
+// NewCongestProc is a tiny local alias to keep call sites short.
+func NewCongestProc(p counting.CongestParams) sim.Proc { return counting.NewCongestProc(p) }
+
+func TestCongestBeaconSpamBlacklistBounds(t *testing.T) {
+	const n, d, b = 128, 8, 2
+	g := testGraph(t, n, d, 11)
+	rng := xrand.New(12)
+	byz, err := RandomPlacement(g, b, rng.Split("place"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := counting.DefaultCongestParams(d)
+	params.MaxPhase = 10
+	outcomes, _ := runCongest(t, g, byz, params, func(v int) sim.Proc {
+		return NewBeaconSpammer(params.Schedule, 6, false, rng.SplitN("spam", v))
+	}, 13)
+
+	honest := HonestMask(byz)
+	if frac := counting.DecidedFraction(outcomes, honest); frac < 0.99 {
+		t.Fatalf("decided fraction %g under spam", frac)
+	}
+	// Blacklisting confines the inflation to the spammers' vicinity: most
+	// honest nodes still decide near the benign range (log_d 128 ≈ 2.3,
+	// benign decisions land around phases 3-5 at this scale).
+	bounded := counting.FractionWithinFactor(outcomes, honest, 2, 7)
+	if bounded < 0.7 {
+		t.Errorf("only %g of honest nodes bounded under spam with blacklists on", bounded)
+	}
+}
+
+func TestCongestBeaconSpamAblationInflates(t *testing.T) {
+	const n, d, b = 128, 8, 2
+	g := testGraph(t, n, d, 14)
+	rng := xrand.New(15)
+	byz, err := RandomPlacement(g, b, rng.Split("place"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := counting.DefaultCongestParams(d)
+	params.MaxPhase = 8
+	params.DisableBlacklist = true
+	outcomes, _ := runCongest(t, g, byz, params, func(v int) sim.Proc {
+		return NewBeaconSpammer(params.Schedule, 6, false, rng.SplitN("spam", v))
+	}, 16)
+
+	honest := HonestMask(byz)
+	// Without blacklists the spam reaches everyone once i+2 covers the
+	// diameter, so no node can ever conclude "no beacon": estimates are
+	// dragged to the MaxPhase safety net.
+	inflated := counting.FractionWithinFactor(outcomes, honest, float64(params.MaxPhase), 1e18)
+	if inflated < 0.9 {
+		t.Errorf("ablation: only %g of honest nodes inflated to MaxPhase; blacklist-off should break the bound", inflated)
+	}
+}
+
+func TestCongestBlacklistVsAblationContrast(t *testing.T) {
+	// The paired contrast of E7: identical runs except for the blacklist
+	// switch must produce strictly larger mean estimates when disabled.
+	const n, d, b = 128, 8, 2
+	g := testGraph(t, n, d, 17)
+	rng := xrand.New(18)
+	byz, err := RandomPlacement(g, b, rng.Split("place"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(disable bool) float64 {
+		params := counting.DefaultCongestParams(d)
+		params.MaxPhase = 8
+		params.DisableBlacklist = disable
+		outcomes, _ := runCongest(t, g, byz, params, func(v int) sim.Proc {
+			return NewBeaconSpammer(params.Schedule, 6, false, rng.SplitN("spam", v))
+		}, 19)
+		sum, cnt := 0.0, 0
+		for v, o := range outcomes {
+			if !byz[v] && o.Decided {
+				sum += float64(o.Estimate)
+				cnt++
+			}
+		}
+		return sum / float64(cnt)
+	}
+	withBL := mean(false)
+	withoutBL := mean(true)
+	if withoutBL <= withBL+1 {
+		t.Errorf("ablation contrast too weak: with=%g without=%g", withBL, withoutBL)
+	}
+}
+
+func TestCongestSilentAdversary(t *testing.T) {
+	const n, d, b = 128, 8, 8
+	g := testGraph(t, n, d, 20)
+	rng := xrand.New(21)
+	byz, err := ClusteredPlacement(g, b, rng.Split("place"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := counting.DefaultCongestParams(d)
+	outcomes, _ := runCongest(t, g, byz, params, func(v int) sim.Proc {
+		return Silent{}
+	}, 22)
+	honest := HonestMask(byz)
+	if frac := counting.DecidedFraction(outcomes, honest); frac < 0.99 {
+		t.Fatalf("decided fraction %g under silence", frac)
+	}
+	// Silence can only starve, never inflate: every estimate stays at or
+	// below the benign ceiling.
+	for v, o := range outcomes {
+		if byz[v] {
+			continue
+		}
+		if o.Estimate > 8 {
+			t.Errorf("vertex %d inflated to %d under a silent adversary", v, o.Estimate)
+		}
+	}
+}
+
+func TestCongestPathTamperer(t *testing.T) {
+	const n, d, b = 128, 8, 2
+	g := testGraph(t, n, d, 23)
+	rng := xrand.New(24)
+	byz, err := RandomPlacement(g, b, rng.Split("place"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame 16 random honest IDs.
+	eng := sim.NewEngine(g, 25)
+	var frame []sim.NodeID
+	for v := 0; v < n && len(frame) < 16; v++ {
+		if !byz[v] {
+			frame = append(frame, eng.ID(v))
+		}
+	}
+	params := counting.DefaultCongestParams(d)
+	outcomes, _ := runCongest(t, g, byz, params, func(v int) sim.Proc {
+		return NewPathTamperer(params.Schedule, frame, rng.SplitN("tamper", v))
+	}, 25)
+	honest := HonestMask(byz)
+	if frac := counting.DecidedFraction(outcomes, honest); frac < 0.99 {
+		t.Fatalf("decided fraction %g under tampering", frac)
+	}
+	// Framing can cause early decisions for some nodes but most stay in a
+	// sane band.
+	sane := counting.FractionWithinFactor(outcomes, honest, 2, 10)
+	if sane < 0.8 {
+		t.Errorf("only %g of honest nodes sane under tampering", sane)
+	}
+}
+
+func TestCongestContinueFlooderDoesNotChangeEstimates(t *testing.T) {
+	const n, d = 64, 8
+	g := testGraph(t, n, d, 26)
+	rng := xrand.New(27)
+	byz, err := RandomPlacement(g, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := counting.DefaultCongestParams(d)
+	params.MaxPhase = 8
+	outcomes, _ := runCongest(t, g, byz, params, func(v int) sim.Proc {
+		return ContinueFlooder{Schedule: params.Schedule}
+	}, 28)
+	honest := HonestMask(byz)
+	if frac := counting.DecidedFraction(outcomes, honest); frac < 0.99 {
+		t.Fatalf("decided fraction %g under continue flooding", frac)
+	}
+	sane := counting.FractionWithinFactor(outcomes, honest, 2, 8)
+	if sane < 0.9 {
+		t.Errorf("continue flooding changed estimates: sane fraction %g", sane)
+	}
+}

@@ -1,0 +1,141 @@
+// Package byzantine provides the adversary side of the reproduction:
+// placement strategies that decide WHERE the Byzantine nodes sit
+// (Section 2's "arbitrarily (adversarially) placed"), and behaviour
+// strategies that decide WHAT they do — beacon spam, path tampering,
+// silence, topology fabrication, and the value-faking attacks that break
+// the baseline protocols of Section 1.2.
+//
+// Every strategy is a sim.Proc; the engine stamps true sender IDs, so
+// none of them can fake its identity over an edge, matching the model.
+package byzantine
+
+import (
+	"fmt"
+
+	"byzcount/internal/graph"
+	"byzcount/internal/xrand"
+)
+
+// Placement selects which vertices are Byzantine. It returns a mask with
+// exactly `count` true entries (or an error when count is infeasible).
+type Placement func(g *graph.Graph, count int, rng *xrand.Rand) ([]bool, error)
+
+// RandomPlacement scatters the Byzantine nodes uniformly — the weaker
+// adversary assumed by the prior work of Chatterjee et al. [14].
+func RandomPlacement(g *graph.Graph, count int, rng *xrand.Rand) ([]bool, error) {
+	n := g.N()
+	if count < 0 || count > n {
+		return nil, fmt.Errorf("byzantine: cannot place %d nodes in %d vertices", count, n)
+	}
+	mask := make([]bool, n)
+	for _, v := range rng.Sample(n, count) {
+		mask[v] = true
+	}
+	return mask, nil
+}
+
+// ClusteredPlacement packs the Byzantine nodes into a BFS ball around a
+// random center — the worst-case concentration of Remark 1, where the
+// adversary surrounds a region and controls its termination.
+func ClusteredPlacement(g *graph.Graph, count int, rng *xrand.Rand) ([]bool, error) {
+	n := g.N()
+	if count < 0 || count > n {
+		return nil, fmt.Errorf("byzantine: cannot place %d nodes in %d vertices", count, n)
+	}
+	mask := make([]bool, n)
+	if count == 0 {
+		return mask, nil
+	}
+	center := rng.Intn(n)
+	// Take the `count` closest vertices to the center in BFS order.
+	ball := g.Ball(center, n)
+	for i := 0; i < count && i < len(ball); i++ {
+		mask[ball[i]] = true
+	}
+	return mask, nil
+}
+
+// SpreadPlacement greedily maximizes pairwise distance: each new
+// Byzantine node is the vertex farthest from all previously chosen ones.
+// This maximizes the fraction of honest nodes with a nearby Byzantine
+// neighbor — the adversary that erodes the Good set of Lemma 1 fastest.
+func SpreadPlacement(g *graph.Graph, count int, rng *xrand.Rand) ([]bool, error) {
+	n := g.N()
+	if count < 0 || count > n {
+		return nil, fmt.Errorf("byzantine: cannot place %d nodes in %d vertices", count, n)
+	}
+	mask := make([]bool, n)
+	if count == 0 {
+		return mask, nil
+	}
+	first := rng.Intn(n)
+	mask[first] = true
+	minDist := g.BFS(first)
+	for placed := 1; placed < count; placed++ {
+		best, bestD := -1, -1
+		for v := 0; v < n; v++ {
+			if mask[v] || minDist[v] == graph.Unreachable {
+				continue
+			}
+			if minDist[v] > bestD {
+				best, bestD = v, minDist[v]
+			}
+		}
+		if best == -1 {
+			// Disconnected leftovers: place anywhere free.
+			for v := 0; v < n && best == -1; v++ {
+				if !mask[v] {
+					best = v
+				}
+			}
+		}
+		mask[best] = true
+		for v, d := range g.BFS(best) {
+			if d != graph.Unreachable && (minDist[v] == graph.Unreachable || d < minDist[v]) {
+				minDist[v] = d
+			}
+		}
+	}
+	return mask, nil
+}
+
+// FixedPlacement marks exactly the given vertices — used for the
+// Theorem 3 dumbbell bridge and hand-crafted scenarios.
+func FixedPlacement(vertices ...int) Placement {
+	return func(g *graph.Graph, count int, rng *xrand.Rand) ([]bool, error) {
+		if count != len(vertices) {
+			return nil, fmt.Errorf("byzantine: FixedPlacement has %d vertices, asked for %d", len(vertices), count)
+		}
+		mask := make([]bool, g.N())
+		for _, v := range vertices {
+			if v < 0 || v >= g.N() {
+				return nil, fmt.Errorf("byzantine: vertex %d out of range", v)
+			}
+			if mask[v] {
+				return nil, fmt.Errorf("byzantine: vertex %d listed twice", v)
+			}
+			mask[v] = true
+		}
+		return mask, nil
+	}
+}
+
+// Count returns the number of Byzantine vertices in a mask.
+func Count(mask []bool) int {
+	c := 0
+	for _, b := range mask {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// HonestMask returns the complement of a Byzantine mask.
+func HonestMask(byz []bool) []bool {
+	h := make([]bool, len(byz))
+	for i, b := range byz {
+		h[i] = !b
+	}
+	return h
+}

@@ -1,0 +1,141 @@
+package byzantine
+
+import (
+	"testing"
+
+	"byzcount/internal/graph"
+	"byzcount/internal/xrand"
+)
+
+func testGraph(t *testing.T, n, d int, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := graph.HND(n, d, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRandomPlacementCount(t *testing.T) {
+	g := testGraph(t, 100, 4, 1)
+	rng := xrand.New(2)
+	for _, count := range []int{0, 1, 10, 100} {
+		mask, err := RandomPlacement(g, count, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Count(mask) != count {
+			t.Errorf("count = %d, want %d", Count(mask), count)
+		}
+	}
+	if _, err := RandomPlacement(g, 101, rng); err == nil {
+		t.Error("overfull placement accepted")
+	}
+	if _, err := RandomPlacement(g, -1, rng); err == nil {
+		t.Error("negative placement accepted")
+	}
+}
+
+func TestClusteredPlacementIsBall(t *testing.T) {
+	g := testGraph(t, 200, 4, 3)
+	rng := xrand.New(4)
+	mask, err := ClusteredPlacement(g, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Count(mask) != 20 {
+		t.Fatalf("count = %d", Count(mask))
+	}
+	// The placed set must be connected-ish: max pairwise distance small
+	// compared to random placement. Compute max distance among placed.
+	var placed []int
+	for v, b := range mask {
+		if b {
+			placed = append(placed, v)
+		}
+	}
+	maxDist := 0
+	d0 := g.BFS(placed[0])
+	for _, v := range placed {
+		if d0[v] > maxDist {
+			maxDist = d0[v]
+		}
+	}
+	// A BFS ball of 20 nodes in a degree-4 graph has radius <= 3, so two
+	// placed vertices are at most 6 apart.
+	if maxDist > 6 {
+		t.Errorf("clustered placement spans distance %d", maxDist)
+	}
+}
+
+func TestClusteredPlacementZero(t *testing.T) {
+	g := testGraph(t, 50, 4, 5)
+	mask, err := ClusteredPlacement(g, 0, xrand.New(6))
+	if err != nil || Count(mask) != 0 {
+		t.Fatalf("zero placement: %v %d", err, Count(mask))
+	}
+}
+
+func TestSpreadPlacementMaximizesDistance(t *testing.T) {
+	g := testGraph(t, 200, 4, 7)
+	rng := xrand.New(8)
+	spread, err := SpreadPlacement(g, 8, rng.Split("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := ClusteredPlacement(g, 8, rng.Split("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	minPair := func(mask []bool) int {
+		var placed []int
+		for v, b := range mask {
+			if b {
+				placed = append(placed, v)
+			}
+		}
+		best := 1 << 30
+		for _, v := range placed {
+			dist := g.BFS(v)
+			for _, w := range placed {
+				if w != v && dist[w] < best {
+					best = dist[w]
+				}
+			}
+		}
+		return best
+	}
+	if minPair(spread) <= minPair(clustered) {
+		t.Errorf("spread min-pair distance %d should exceed clustered %d",
+			minPair(spread), minPair(clustered))
+	}
+}
+
+func TestFixedPlacement(t *testing.T) {
+	g := testGraph(t, 50, 4, 9)
+	p := FixedPlacement(3, 7, 11)
+	mask, err := p(g, 3, xrand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mask[3] || !mask[7] || !mask[11] || Count(mask) != 3 {
+		t.Errorf("mask wrong: %v", mask)
+	}
+	if _, err := p(g, 2, xrand.New(10)); err == nil {
+		t.Error("count mismatch accepted")
+	}
+	if _, err := FixedPlacement(99)(graph.New(10), 1, xrand.New(1)); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if _, err := FixedPlacement(1, 1)(graph.New(10), 2, xrand.New(1)); err == nil {
+		t.Error("duplicate vertex accepted")
+	}
+}
+
+func TestHonestMask(t *testing.T) {
+	byz := []bool{true, false, true}
+	h := HonestMask(byz)
+	if h[0] || !h[1] || h[2] {
+		t.Errorf("HonestMask = %v", h)
+	}
+}

@@ -1,0 +1,234 @@
+package counting
+
+import (
+	"math"
+	"testing"
+
+	"byzcount/internal/graph"
+	"byzcount/internal/sim"
+	"byzcount/internal/xrand"
+)
+
+func runProtocol(t *testing.T, g *graph.Graph, seed uint64, mk func(v int) sim.Proc, maxRounds int) ([]Outcome, []sim.Proc) {
+	t.Helper()
+	eng := sim.NewEngine(g, seed)
+	procs := make([]sim.Proc, g.N())
+	for v := range procs {
+		procs[v] = mk(v)
+	}
+	if err := eng.Attach(procs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(maxRounds); err != nil {
+		t.Fatal(err)
+	}
+	return Outcomes(procs), procs
+}
+
+func TestGeometricBenignEstimatesLog2N(t *testing.T) {
+	const n = 1024
+	rng := xrand.New(1)
+	g, err := graph.HND(n, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average the global max over several seeds: E[max of n geometrics]
+	// is ~log2(n) + O(1).
+	sum := 0.0
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		outcomes, _ := runProtocol(t, g, uint64(trial+2), func(v int) sim.Proc {
+			return NewGeometricProc(16)
+		}, 500)
+		// All nodes agree on the flooded max.
+		first := outcomes[0].Estimate
+		for v, o := range outcomes {
+			if !o.Decided {
+				t.Fatalf("trial %d vertex %d undecided", trial, v)
+			}
+			if o.Estimate != first {
+				t.Fatalf("trial %d: estimates disagree (%d vs %d)", trial, o.Estimate, first)
+			}
+		}
+		sum += float64(first)
+	}
+	mean := sum / trials
+	if mean < Log2(n)-3 || mean > Log2(n)+5 {
+		t.Errorf("mean geometric max = %g, want near log2(%d) = %g", mean, n, Log2(n))
+	}
+}
+
+// maxFaker floods an absurd maximum, the one-Byzantine attack of
+// Section 1.2.
+type maxFaker struct{ value, period int }
+
+func (m *maxFaker) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
+	if round%max(1, m.period) == 0 {
+		return env.Broadcast(GeoMax{Value: m.value})
+	}
+	return nil
+}
+func (m *maxFaker) Halted() bool { return false }
+
+func TestGeometricSingleByzantineDestroysEstimate(t *testing.T) {
+	const n = 256
+	rng := xrand.New(3)
+	g, err := graph.HND(n, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fake = 1 << 20
+	outcomes, _ := runProtocol(t, g, 4, func(v int) sim.Proc {
+		if v == 0 {
+			return &maxFaker{value: fake, period: 1}
+		}
+		return NewGeometricProc(16)
+	}, 2000)
+	honest := allHonest(n)
+	honest[0] = false
+	for v, o := range outcomes {
+		if !honest[v] {
+			continue
+		}
+		if !o.Decided {
+			t.Fatalf("vertex %d undecided", v)
+		}
+		if o.Estimate != fake {
+			t.Errorf("vertex %d estimate %d; the fake max should have poisoned it", v, o.Estimate)
+		}
+	}
+}
+
+func TestSupportBenignEstimatesN(t *testing.T) {
+	const n = 512
+	rng := xrand.New(5)
+	g, err := graph.HND(n, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes, procs := runProtocol(t, g, 6, func(v int) sim.Proc {
+		return NewSupportProc(64, 16)
+	}, 1000)
+	for v, o := range outcomes {
+		if !o.Decided {
+			t.Fatalf("vertex %d undecided", v)
+		}
+	}
+	est := procs[0].(*SupportProc).EstimateN()
+	if est < float64(n)/2 || est > float64(n)*2 {
+		t.Errorf("support estimate %g, want within 2x of %d", est, n)
+	}
+	// Log-scale outcome agrees.
+	if o := outcomes[0]; math.Abs(float64(o.Estimate)-Log2(n)) > 2 {
+		t.Errorf("log-scale estimate %d, want near %g", o.Estimate, Log2(n))
+	}
+}
+
+// minFaker floods near-zero minima to inflate the support estimate.
+type minFaker struct{ k int }
+
+func (m *minFaker) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
+	if round%4 == 0 {
+		mins := make([]float64, m.k)
+		for i := range mins {
+			mins[i] = 1e-12
+		}
+		return env.Broadcast(SupportMin{Mins: mins})
+	}
+	return nil
+}
+func (m *minFaker) Halted() bool { return false }
+
+func TestSupportSingleByzantineDestroysEstimate(t *testing.T) {
+	const n = 256
+	rng := xrand.New(7)
+	g, err := graph.HND(n, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 32
+	outcomes, procs := runProtocol(t, g, 8, func(v int) sim.Proc {
+		if v == 0 {
+			return &minFaker{k: k}
+		}
+		return NewSupportProc(k, 16)
+	}, 2000)
+	_ = outcomes
+	est := procs[1].(*SupportProc).EstimateN()
+	if est < float64(n)*100 {
+		t.Errorf("faked support estimate %g; want inflated far beyond n=%d", est, n)
+	}
+}
+
+func TestTreeCountExact(t *testing.T) {
+	for _, n := range []int{16, 100, 333} {
+		rng := xrand.New(uint64(n))
+		g, err := graph.HND(n, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes, _ := runProtocol(t, g, uint64(n)+1, func(v int) sim.Proc {
+			return NewTreeCountProc(v == 0)
+		}, 10*n)
+		for v, o := range outcomes {
+			if !o.Decided {
+				t.Fatalf("n=%d: vertex %d undecided", n, v)
+			}
+			if o.Estimate != n {
+				t.Fatalf("n=%d: vertex %d counted %d", n, v, o.Estimate)
+			}
+		}
+	}
+}
+
+func TestTreeCountOnPath(t *testing.T) {
+	g, err := graph.Path(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes, _ := runProtocol(t, g, 2, func(v int) sim.Proc {
+		return NewTreeCountProc(v == 8) // root mid-path
+	}, 300)
+	for v, o := range outcomes {
+		if !o.Decided || o.Estimate != 17 {
+			t.Fatalf("vertex %d outcome %+v", v, o)
+		}
+	}
+}
+
+func TestGeometricQuietRoundsClamped(t *testing.T) {
+	p := NewGeometricProc(0)
+	if p.quietRounds != 1 {
+		t.Errorf("quietRounds = %d", p.quietRounds)
+	}
+}
+
+func TestSupportParamsClamped(t *testing.T) {
+	p := NewSupportProc(1, 0)
+	if p.k != 2 || p.quietRounds != 1 {
+		t.Errorf("params = k%d q%d", p.k, p.quietRounds)
+	}
+}
+
+func TestSupportEstimateNEmpty(t *testing.T) {
+	p := NewSupportProc(8, 4)
+	if !math.IsInf(p.EstimateN(), 1) {
+		t.Error("estimate before drawing should be +Inf")
+	}
+	if o := p.Outcome(); o.Estimate != 0 {
+		t.Errorf("outcome estimate = %d", o.Estimate)
+	}
+}
+
+func TestPayloadSizes(t *testing.T) {
+	if (GeoMax{}).SizeBits() != 48 {
+		t.Error("GeoMax size")
+	}
+	if (SupportMin{Mins: make([]float64, 4)}).SizeBits() != 16+256 {
+		t.Error("SupportMin size")
+	}
+	if (TreeJoin{}).SizeBits() != 48 || (TreeParent{}).SizeBits() != 80 ||
+		(TreeCount{}).SizeBits() != 48 || (TreeTotal{}).SizeBits() != 48 {
+		t.Error("tree payload sizes")
+	}
+}

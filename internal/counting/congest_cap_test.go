@@ -1,0 +1,79 @@
+package counting
+
+import (
+	"testing"
+
+	"byzcount/internal/graph"
+	"byzcount/internal/sim"
+	"byzcount/internal/xrand"
+)
+
+// TestCongestAlgorithmFitsUnderEdgeCap: Algorithm 2 must behave
+// identically when the engine enforces the CONGEST bandwidth restriction,
+// because its beacons, continues, and path fields are genuinely small.
+func TestCongestAlgorithmFitsUnderEdgeCap(t *testing.T) {
+	const n, d = 256, 8
+	rng := xrand.New(90)
+	g, err := graph.HND(n, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cap int) ([]Outcome, sim.Metrics) {
+		eng := sim.NewEngine(g, 91)
+		if cap > 0 {
+			eng.SetEdgeCapacity(cap)
+		}
+		params := DefaultCongestParams(d)
+		procs := make([]sim.Proc, n)
+		for v := range procs {
+			procs[v] = NewCongestProc(params)
+		}
+		if err := eng.Attach(procs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(params.Schedule.RoundsThroughPhase(params.MaxPhase + 1)); err != nil {
+			t.Fatal(err)
+		}
+		return Outcomes(procs), eng.Metrics()
+	}
+	// A beacon path of length i+2 at the top phase is ~ 64*(log n) bits;
+	// 2048 bits per edge per round is a generous O(log n) budget.
+	local, _ := run(0)
+	congest, m := run(2048)
+	if m.Capped != 0 {
+		t.Fatalf("algorithm 2 exceeded the CONGEST cap %d times", m.Capped)
+	}
+	for v := range local {
+		if local[v] != congest[v] {
+			t.Fatalf("vertex %d outcome differs under the cap: %+v vs %+v", v, local[v], congest[v])
+		}
+	}
+}
+
+// TestLocalAlgorithmViolatesEdgeCap: Algorithm 1's topology deltas exceed
+// any O(log n) per-edge budget on a non-trivial network — the reason it
+// lives in the LOCAL model (Section 1).
+func TestLocalAlgorithmViolatesEdgeCap(t *testing.T) {
+	const n, d = 128, 8
+	rng := xrand.New(92)
+	g, err := graph.HND(n, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(g, 93)
+	eng.SetEdgeCapacity(2048)
+	params := DefaultLocalParams(d)
+	procs := make([]sim.Proc, n)
+	for v := range procs {
+		procs[v] = NewLocalProc(params)
+	}
+	if err := eng.Attach(procs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(params.MaxRounds + 8); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Metrics().Capped == 0 {
+		t.Fatal("algorithm 1 fit under a CONGEST cap; its LOCAL-model requirement would be refuted")
+	}
+}

@@ -1,0 +1,207 @@
+package counting
+
+import (
+	"math"
+	"testing"
+
+	"byzcount/internal/graph"
+	"byzcount/internal/sim"
+	"byzcount/internal/xrand"
+)
+
+func TestKMVBenignEstimatesN(t *testing.T) {
+	const n, k = 512, 64
+	rng := xrand.New(80)
+	g, err := graph.HND(n, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes, procs := runProtocol(t, g, 81, func(v int) sim.Proc {
+		return NewKMVProc(k, 16)
+	}, 2000)
+	for v, o := range outcomes {
+		if !o.Decided {
+			t.Fatalf("vertex %d undecided", v)
+		}
+	}
+	est := procs[0].(*KMVProc).EstimateN()
+	if est < float64(n)/2 || est > float64(n)*2 {
+		t.Errorf("KMV estimate %g, want within 2x of %d", est, n)
+	}
+	// All nodes converge to the same sketch, hence the same estimate.
+	for v := 1; v < n; v += 97 {
+		if procs[v].(*KMVProc).EstimateN() != est {
+			t.Errorf("vertex %d sketch differs", v)
+		}
+	}
+}
+
+func TestKMVInsert(t *testing.T) {
+	p := NewKMVProc(3, 1)
+	for _, h := range []uint64{50, 10, 90, 10, 70} {
+		p.insert(h)
+	}
+	// Sketch keeps the 3 smallest distinct: 10, 50, 70.
+	if len(p.mins) != 3 || p.mins[0] != 10 || p.mins[1] != 50 || p.mins[2] != 70 {
+		t.Fatalf("sketch = %v", p.mins)
+	}
+	if p.insert(100) {
+		t.Error("inserting a too-large value reported a change")
+	}
+	if !p.insert(5) {
+		t.Error("inserting a new minimum reported no change")
+	}
+	if p.mins[0] != 5 || p.mins[2] != 50 {
+		t.Fatalf("sketch after min insert = %v", p.mins)
+	}
+}
+
+func TestKMVEstimateBeforeFill(t *testing.T) {
+	p := NewKMVProc(8, 1)
+	if !math.IsInf(p.EstimateN(), 1) {
+		t.Error("estimate before fill should be +Inf")
+	}
+	if o := p.Outcome(); o.Estimate != 0 {
+		t.Errorf("outcome estimate = %d", o.Estimate)
+	}
+}
+
+func TestKMVParamsClamped(t *testing.T) {
+	p := NewKMVProc(0, 0)
+	if p.k != 2 || p.quietRounds != 1 {
+		t.Errorf("params k=%d q=%d", p.k, p.quietRounds)
+	}
+}
+
+// kmvPoisoner floods tiny hash values — the birthday-estimator attack.
+type kmvPoisoner struct{ k int }
+
+func (p *kmvPoisoner) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
+	if round%4 != 0 {
+		return nil
+	}
+	mins := make([]uint64, p.k)
+	for i := range mins {
+		mins[i] = uint64(i + 1)
+	}
+	return env.Broadcast(KMVHash{Mins: mins})
+}
+func (p *kmvPoisoner) Halted() bool { return false }
+
+func TestKMVSingleByzantineDestroysEstimate(t *testing.T) {
+	const n, k = 256, 32
+	rng := xrand.New(82)
+	g, err := graph.HND(n, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, procs := runProtocol(t, g, 83, func(v int) sim.Proc {
+		if v == 0 {
+			return &kmvPoisoner{k: k}
+		}
+		return NewKMVProc(k, 16)
+	}, 2000)
+	est := procs[1].(*KMVProc).EstimateN()
+	if est < 1e12 {
+		t.Fatalf("poisoned KMV estimate %g should be astronomically inflated", est)
+	}
+}
+
+func TestReturnWalkBenign(t *testing.T) {
+	const n = 64
+	rng := xrand.New(84)
+	g, err := graph.HND(n, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes, procs := runProtocol(t, g, 85, func(v int) sim.Proc {
+		return NewReturnWalkProc(4, 64*n)
+	}, 200*n)
+	decided := 0
+	var logSum float64
+	for v, o := range outcomes {
+		if o.Decided {
+			decided++
+			logSum += float64(o.Estimate)
+		}
+		_ = v
+	}
+	if decided < n*9/10 {
+		t.Fatalf("only %d/%d decided", decided, n)
+	}
+	meanLog := logSum / float64(decided)
+	// E[return time] = n exactly; the empirical mean of 4 samples on the
+	// log2 scale is noisy but must land within a couple of units of
+	// log2(n) = 6.
+	if meanLog < Log2(n)-2.5 || meanLog > Log2(n)+2.5 {
+		t.Errorf("mean log-estimate %g, want near %g", meanLog, Log2(n))
+	}
+	if procs[0].(*ReturnWalkProc).launched == 0 {
+		t.Error("no walks launched")
+	}
+}
+
+// absorber swallows every token: the Byzantine attack the paper points
+// out ("long random walks have a high chance of encountering a Byzantine
+// node").
+type absorber struct{}
+
+func (absorber) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing { return nil }
+func (absorber) Halted() bool                                                   { return false }
+
+func TestReturnWalkByzantineSkews(t *testing.T) {
+	const n = 64
+	rng := xrand.New(86)
+	g, err := graph.HND(n, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nByz = 4
+	outcomes, _ := runProtocol(t, g, 87, func(v int) sim.Proc {
+		if v < nByz {
+			return absorber{}
+		}
+		return NewReturnWalkProc(4, 64*n)
+	}, 200*n)
+	honest := make([]bool, n)
+	for v := nByz; v < n; v++ {
+		honest[v] = true
+	}
+	// Long walks die in the absorbers, so either nodes fail to collect
+	// their samples (undecided) or only short returns survive (biased
+	// low). Both are failures of the estimator.
+	undecided := 0
+	biased := 0
+	for v, o := range outcomes {
+		if !honest[v] {
+			continue
+		}
+		if !o.Decided {
+			undecided++
+		} else if float64(o.Estimate) < Log2(n)-1 {
+			biased++
+		}
+	}
+	if undecided+biased < (n-nByz)/3 {
+		t.Errorf("absorbers barely affected the estimator: undecided=%d biased=%d", undecided, biased)
+	}
+}
+
+func TestReturnWalkParamsClamped(t *testing.T) {
+	p := NewReturnWalkProc(0, 0)
+	if p.samples != 1 || p.maxSteps != 4 {
+		t.Errorf("params = %d %d", p.samples, p.maxSteps)
+	}
+	if !math.IsNaN(p.MeanReturnTime()) {
+		t.Error("mean before returns should be NaN")
+	}
+}
+
+func TestWalkTokenAndKMVSizes(t *testing.T) {
+	if (WalkToken{}).SizeBits() != 112 {
+		t.Errorf("WalkToken size %d", (WalkToken{}).SizeBits())
+	}
+	if (KMVHash{Mins: make([]uint64, 2)}).SizeBits() != 16+128 {
+		t.Error("KMVHash size")
+	}
+}

@@ -1,0 +1,414 @@
+package counting
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"byzcount/internal/sim"
+	"byzcount/internal/xrand"
+)
+
+// ErrInconsistent is reported when merged topology information
+// contradicts what a node already knows — the trigger of Algorithm 1's
+// line 6 (via the `inconsistent` predicate of lines 16-18).
+var ErrInconsistent = errors.New("counting: inconsistent topology information")
+
+// SealRecord is the unit of topology information in Algorithm 1: a node's
+// complete incident edge set, announced by the node itself and flooded
+// outward one hop per round. A record for node X claims "X's neighbors
+// are exactly Neighbors".
+type SealRecord struct {
+	Node      sim.NodeID
+	Neighbors []sim.NodeID
+}
+
+// LocalDelta is the per-round LOCAL-model message: the seal records the
+// sender learned since its previous broadcast. Broadcasting deltas is
+// information-equivalent to the paper's "broadcast all of B-hat(u,i)"
+// (receivers reconstruct the same view) while keeping the simulation
+// polynomial; cumulative bits per node still measure the LOCAL cost.
+type LocalDelta struct {
+	Seals []SealRecord
+}
+
+// SizeBits counts 64 bits per node ID plus a small header per record.
+func (d LocalDelta) SizeBits() int {
+	bits := 16
+	for _, s := range d.Seals {
+		bits += 16 + 64*(1+len(s.Neighbors))
+	}
+	return bits
+}
+
+// View is a node's accumulated approximation of the network topology
+// (B-hat(u,i) in the paper). It stores seal records and the adjacency
+// they imply, and detects the paper's inconsistency conditions during
+// merging.
+type View struct {
+	maxDegree int
+	sealed    map[sim.NodeID][]sim.NodeID // node -> sorted full neighbor list
+	adj       map[sim.NodeID][]sim.NodeID // symmetric adjacency implied by seals
+	adjSet    map[sim.NodeID]map[sim.NodeID]bool
+	// claimedBy[x] lists the sealed nodes that claim an edge to the
+	// not-yet-sealed node x; when x finally seals, its record must name
+	// every claimant (and, symmetrically, every sealed node it names must
+	// have claimed it).
+	claimedBy map[sim.NodeID][]sim.NodeID
+}
+
+// NewView returns an empty view that enforces the degree bound maxDegree
+// (the Delta known to all nodes in Theorem 1).
+func NewView(maxDegree int) *View {
+	return &View{
+		maxDegree: maxDegree,
+		sealed:    make(map[sim.NodeID][]sim.NodeID),
+		adj:       make(map[sim.NodeID][]sim.NodeID),
+		adjSet:    make(map[sim.NodeID]map[sim.NodeID]bool),
+		claimedBy: make(map[sim.NodeID][]sim.NodeID),
+	}
+}
+
+// SealedCount returns the number of nodes with known full edge sets.
+func (v *View) SealedCount() int { return len(v.sealed) }
+
+// KnownCount returns the number of nodes the view has heard of (sealed or
+// mentioned in someone's seal).
+func (v *View) KnownCount() int { return len(v.adjSet) }
+
+// IsSealed reports whether node x's full edge set is known.
+func (v *View) IsSealed(x sim.NodeID) bool {
+	_, ok := v.sealed[x]
+	return ok
+}
+
+// Sealed returns the sealed node IDs in unspecified order.
+func (v *View) Sealed() []sim.NodeID {
+	out := make([]sim.NodeID, 0, len(v.sealed))
+	for x := range v.sealed {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Merge incorporates a seal record, returning ErrInconsistent (wrapped
+// with context) when the record contradicts existing knowledge:
+//
+//   - the claimed degree exceeds the known bound Delta (line 17),
+//   - the node was already sealed with a different edge set (line 18), or
+//   - the claimed edge set disagrees with another sealed node's record
+//     (an edge must appear in both endpoints' seals).
+func (v *View) Merge(rec SealRecord) error {
+	if len(rec.Neighbors) > v.maxDegree {
+		return fmt.Errorf("%w: node %d claims degree %d > %d",
+			ErrInconsistent, rec.Node, len(rec.Neighbors), v.maxDegree)
+	}
+	nbrs := append([]sim.NodeID(nil), rec.Neighbors...)
+	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i] == nbrs[i-1] {
+			return fmt.Errorf("%w: node %d claims a parallel edge to %d",
+				ErrInconsistent, rec.Node, nbrs[i])
+		}
+	}
+	for _, w := range nbrs {
+		if w == rec.Node {
+			return fmt.Errorf("%w: node %d claims a self-loop", ErrInconsistent, rec.Node)
+		}
+	}
+	if existing, ok := v.sealed[rec.Node]; ok {
+		if !equalIDs(existing, nbrs) {
+			return fmt.Errorf("%w: node %d re-sealed with a different edge set",
+				ErrInconsistent, rec.Node)
+		}
+		return nil // duplicate of known information
+	}
+	// Cross-check against already-sealed neighbors: an edge {a,b} must be
+	// claimed by both sides.
+	for _, w := range nbrs {
+		if wNbrs, ok := v.sealed[w]; ok && !containsID(wNbrs, rec.Node) {
+			return fmt.Errorf("%w: node %d claims an edge to %d, which is sealed without it",
+				ErrInconsistent, rec.Node, w)
+		}
+	}
+	// Reverse direction: every sealed node that previously claimed an edge
+	// to rec.Node must appear in rec's neighbor set.
+	for _, claimant := range v.claimedBy[rec.Node] {
+		if !containsID(nbrs, claimant) {
+			return fmt.Errorf("%w: node %d is sealed with an edge to %d, which now denies it",
+				ErrInconsistent, claimant, rec.Node)
+		}
+	}
+	delete(v.claimedBy, rec.Node)
+	v.sealed[rec.Node] = nbrs
+	v.touch(rec.Node)
+	for _, w := range nbrs {
+		v.touch(w)
+		v.addArc(rec.Node, w)
+		v.addArc(w, rec.Node)
+		if _, ok := v.sealed[w]; !ok {
+			v.claimedBy[w] = append(v.claimedBy[w], rec.Node)
+		}
+	}
+	return nil
+}
+
+func (v *View) touch(x sim.NodeID) {
+	if v.adjSet[x] == nil {
+		v.adjSet[x] = make(map[sim.NodeID]bool)
+	}
+}
+
+func (v *View) addArc(a, b sim.NodeID) {
+	if !v.adjSet[a][b] {
+		v.adjSet[a][b] = true
+		v.adj[a] = append(v.adj[a], b)
+	}
+}
+
+func equalIDs(a, b []sim.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsID(sorted []sim.NodeID, x sim.NodeID) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == x
+}
+
+// BallLayers runs BFS from center on the view adjacency and returns the
+// vertices grouped by distance: layers[0] = {center}, layers[1] = its
+// neighbors, and so on.
+func (v *View) BallLayers(center sim.NodeID) [][]sim.NodeID {
+	if v.adjSet[center] == nil {
+		return [][]sim.NodeID{{center}}
+	}
+	dist := map[sim.NodeID]int{center: 0}
+	queue := []sim.NodeID{center}
+	var layers [][]sim.NodeID
+	layers = append(layers, []sim.NodeID{center})
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		dx := dist[x]
+		for _, w := range v.adj[x] {
+			if _, seen := dist[w]; !seen {
+				dist[w] = dx + 1
+				queue = append(queue, w)
+				for len(layers) <= dx+1 {
+					layers = append(layers, nil)
+				}
+				layers[dx+1] = append(layers[dx+1], w)
+			}
+		}
+	}
+	return layers
+}
+
+// ExpansionChecks evaluates the Algorithm 1 expansion checks (lines 9-13)
+// over the tractable candidate family described in DESIGN.md and returns
+// false (check failed, the node must decide) if any candidate subset of
+// sealed nodes has vertex expansion below alpha within the view:
+//
+//  1. every ball B(center, j) consisting solely of sealed nodes, whose
+//     out-neighborhood is then exactly the next BFS layer; and
+//  2. the set of all sealed nodes, whose out-neighborhood is the unsealed
+//     frontier (this catches the "view stopped growing" signal of
+//     Lemma 5).
+//
+// Candidates are restricted to sealed nodes so that their out-edges are
+// exactly known; this mirrors the paper's S ⊆ B-hat(u,i) being evaluated
+// against B-hat(u,i+1).
+func (v *View) ExpansionChecks(center sim.NodeID, alpha float64) bool {
+	layers := v.BallLayers(center)
+	ballSize := 0
+	sealedPrefix := true
+	for j := 0; j < len(layers); j++ {
+		ballSize += len(layers[j])
+		for _, x := range layers[j] {
+			if !v.IsSealed(x) {
+				sealedPrefix = false
+				break
+			}
+		}
+		if !sealedPrefix {
+			break
+		}
+		next := 0
+		if j+1 < len(layers) {
+			next = len(layers[j+1])
+		}
+		if float64(next) < alpha*float64(ballSize) {
+			return false
+		}
+	}
+	// Full sealed set versus its unsealed frontier.
+	frontier := make(map[sim.NodeID]bool)
+	for _, nbrs := range v.sealed {
+		for _, w := range nbrs {
+			if !v.IsSealed(w) {
+				frontier[w] = true
+			}
+		}
+	}
+	if len(v.sealed) > 0 && float64(len(frontier)) < alpha*float64(len(v.sealed)) {
+		return false
+	}
+	return true
+}
+
+// SweepCheck looks for a sparse cut among the sealed nodes using a
+// spectral sweep: it computes an approximate second eigenvector of the
+// lazy random walk on the sealed subgraph via power iteration, orders the
+// sealed nodes by eigenvector value, and evaluates the vertex expansion
+// of every prefix (out-neighbors counted in the full view, so unsealed
+// frontier nodes count as expansion). It returns false when some prefix
+// has expansion below alpha — the polynomial-time stand-in for the
+// paper's exponential "every vertex subset" check, in the spirit of the
+// spectral blacklisting of King & Saia cited in Section 1.4.
+//
+// This is the check that defeats the fake-network attack of Remark 1:
+// once the real graph is fully discovered, the set of real nodes has an
+// out-neighborhood consisting only of the o(n) Byzantine attachment
+// points, and the eigenvector ordering separates the two sides of that
+// bottleneck.
+func (v *View) SweepCheck(alpha float64, iters int, rng *xrand.Rand) bool {
+	n := len(v.sealed)
+	if n < 8 {
+		return true // too small for a meaningful spectral signal
+	}
+	idx := make(map[sim.NodeID]int, n)
+	nodes := make([]sim.NodeID, 0, n)
+	for x := range v.sealed {
+		nodes = append(nodes, x)
+	}
+	// Deterministic ordering for reproducibility.
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for i, x := range nodes {
+		idx[x] = i
+	}
+	// Sealed-subgraph adjacency (indices) and degrees.
+	adj := make([][]int32, n)
+	for i, x := range nodes {
+		for _, w := range v.sealed[x] {
+			if j, ok := idx[w]; ok {
+				adj[i] = append(adj[i], int32(j))
+			}
+		}
+	}
+	vec := secondEigenvector(adj, iters, rng)
+	if vec == nil {
+		return true
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return vec[order[a]] < vec[order[b]] })
+
+	// Sweep prefixes, counting out-neighbors in the FULL view (sealed
+	// members outside the prefix and unsealed frontier nodes both count).
+	inPrefix := make([]bool, n)
+	outSealed := make(map[int]bool)          // sealed nodes adjacent to prefix, not in it
+	outUnsealed := make(map[sim.NodeID]bool) // unsealed nodes adjacent to prefix
+	for k, oi := range order {
+		x := nodes[oi]
+		inPrefix[oi] = true
+		delete(outSealed, oi)
+		for _, w := range v.sealed[x] {
+			if j, ok := idx[w]; ok {
+				if !inPrefix[j] {
+					outSealed[j] = true
+				}
+			} else {
+				outUnsealed[w] = true
+			}
+		}
+		size := k + 1
+		if size < 4 || size > n-1 {
+			continue // skip degenerate prefixes
+		}
+		out := len(outSealed) + len(outUnsealed)
+		if float64(out) < alpha*float64(size) {
+			return false
+		}
+	}
+	return true
+}
+
+// secondEigenvector approximates the second eigenvector of the lazy walk
+// on the given adjacency via power iteration, projecting out the
+// stationary component. Returns nil when the graph is degenerate.
+func secondEigenvector(adj [][]int32, iters int, rng *xrand.Rand) []float64 {
+	n := len(adj)
+	if n == 0 {
+		return nil
+	}
+	deg := make([]float64, n)
+	var total float64
+	for i := range adj {
+		deg[i] = float64(len(adj[i]))
+		total += deg[i]
+		if deg[i] == 0 {
+			deg[i] = 1 // isolated sealed node; keep the walk well-defined
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = deg[i] / total
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+	}
+	y := make([]float64, n)
+	if iters < 8 {
+		iters = 8
+	}
+	for it := 0; it < iters; it++ {
+		var dot float64
+		for i := range x {
+			dot += pi[i] * x[i]
+		}
+		for i := range x {
+			x[i] -= dot
+		}
+		for i := range y {
+			var sum float64
+			for _, w := range adj[i] {
+				sum += x[w]
+			}
+			y[i] = 0.5*x[i] + 0.5*sum/deg[i]
+		}
+		var norm float64
+		for i := range y {
+			norm += y[i] * y[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return nil
+		}
+		for i := range y {
+			x[i] = y[i] / norm
+		}
+	}
+	return x
+}

@@ -1,0 +1,214 @@
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+
+	"byzcount/internal/sim"
+	"byzcount/internal/xrand"
+)
+
+// Churn describes the per-round churn process: each round, Leaves random
+// alive nodes depart and Joins new nodes arrive (after the round's
+// messages have been delivered, matching the "topology changes between
+// rounds" convention of the dynamic-network literature).
+type Churn struct {
+	Leaves int
+	Joins  int
+	// StopAfter, when positive, disables churn from that round on (so
+	// runs can quiesce and protocols can terminate).
+	StopAfter int
+}
+
+// ProcFactory builds the process for a newly joined (or initial) node.
+type ProcFactory func(slot Slot, id sim.NodeID) sim.Proc
+
+// Engine drives processes over a Network under churn. It mirrors
+// sim.Engine's semantics — synchronous rounds, next-round delivery,
+// engine-stamped sender IDs — but re-derives each node's neighborhood
+// every round and applies the churn process between rounds.
+type Engine struct {
+	net   *Network
+	churn Churn
+	rng   *xrand.Rand
+
+	procs []sim.Proc
+	ids   []sim.NodeID
+	envs  []sim.Env
+
+	inbox   [][]sim.Incoming
+	next    [][]sim.Incoming
+	factory ProcFactory
+
+	metrics sim.Metrics
+	joined  int
+	left    int
+}
+
+// NewEngine creates a churn engine over net. factory is invoked for every
+// initial node and every joiner.
+func NewEngine(net *Network, churn Churn, seed uint64, factory ProcFactory) *Engine {
+	rng := xrand.New(seed)
+	e := &Engine{
+		net:     net,
+		churn:   churn,
+		rng:     rng,
+		factory: factory,
+	}
+	idStream := rng.Split("ids")
+	for s := 0; s < net.Slots(); s++ {
+		e.grow(s)
+		if net.Alive(s) {
+			e.ids[s] = sim.NodeID(idStream.ID())
+			e.procs[s] = factory(s, e.ids[s])
+		}
+	}
+	return e
+}
+
+func (e *Engine) grow(s Slot) {
+	for len(e.procs) <= s {
+		e.procs = append(e.procs, nil)
+		e.ids = append(e.ids, 0)
+		e.envs = append(e.envs, sim.Env{})
+		e.inbox = append(e.inbox, nil)
+		e.next = append(e.next, nil)
+	}
+}
+
+// Metrics returns the accumulated measurements.
+func (e *Engine) Metrics() sim.Metrics { return e.metrics }
+
+// Network returns the underlying topology.
+func (e *Engine) Network() *Network { return e.net }
+
+// Proc returns the process at slot s (nil for dead slots).
+func (e *Engine) Proc(s Slot) sim.Proc {
+	if s < 0 || s >= len(e.procs) || !e.net.Alive(s) {
+		return nil
+	}
+	return e.procs[s]
+}
+
+// AliveProcs returns the processes of currently alive slots, with their
+// slots.
+func (e *Engine) AliveProcs() (procs []sim.Proc, slots []Slot) {
+	for s := 0; s < e.net.Slots(); s++ {
+		if e.net.Alive(s) && e.procs[s] != nil {
+			procs = append(procs, e.procs[s])
+			slots = append(slots, s)
+		}
+	}
+	return procs, slots
+}
+
+// Joined and Left report the total churn applied so far.
+func (e *Engine) Joined() int { return e.joined }
+
+// Left reports the number of departures so far.
+func (e *Engine) Left() int { return e.left }
+
+// Run executes up to maxRounds rounds, applying churn between rounds, and
+// returns the number of rounds executed. The run ends early when every
+// alive process has halted.
+func (e *Engine) Run(maxRounds int) (int, error) {
+	if maxRounds < 0 {
+		return 0, errors.New("dynamic: negative maxRounds")
+	}
+	idStream := e.rng.Split("joinids")
+	for r := 0; r < maxRounds; r++ {
+		allHalted := true
+		for s := 0; s < e.net.Slots(); s++ {
+			if !e.net.Alive(s) || e.procs[s] == nil {
+				e.inbox[s] = e.inbox[s][:0]
+				continue
+			}
+			p := e.procs[s]
+			if p.Halted() {
+				e.inbox[s] = e.inbox[s][:0]
+				continue
+			}
+			allHalted = false
+			env := e.refreshEnv(s)
+			out := p.Step(env, r, e.inbox[s])
+			e.inbox[s] = e.inbox[s][:0]
+			nbrs := map[int]bool{}
+			for _, w := range env.Neighbors {
+				nbrs[w] = true
+			}
+			for _, msg := range out {
+				if !nbrs[msg.To] {
+					e.metrics.Violations++
+					continue
+				}
+				bits := 0
+				if msg.Payload != nil {
+					bits = msg.Payload.SizeBits()
+				}
+				e.metrics.Messages++
+				e.metrics.Bits += int64(bits)
+				if bits > e.metrics.MaxMsgBits {
+					e.metrics.MaxMsgBits = bits
+				}
+				e.next[msg.To] = append(e.next[msg.To], sim.Incoming{
+					From:    s,
+					FromID:  e.ids[s],
+					Payload: msg.Payload,
+				})
+			}
+		}
+		e.metrics.Rounds++
+		e.inbox, e.next = e.next, e.inbox
+		// Drop messages addressed to nodes that depart this round — the
+		// receiver is gone before delivery.
+		if e.churn.StopAfter <= 0 || r < e.churn.StopAfter {
+			if err := e.applyChurn(idStream); err != nil {
+				return r + 1, err
+			}
+		}
+		if allHalted {
+			return r, nil
+		}
+	}
+	return maxRounds, nil
+}
+
+func (e *Engine) applyChurn(idStream *xrand.Rand) error {
+	for i := 0; i < e.churn.Leaves && e.net.NumAlive() > 3; i++ {
+		s := e.net.RandomAliveSlot(e.rng.Split("leave"))
+		if err := e.net.Leave(s); err != nil {
+			return fmt.Errorf("dynamic: leave: %w", err)
+		}
+		e.procs[s] = nil
+		e.inbox[s] = nil
+		e.left++
+	}
+	for i := 0; i < e.churn.Joins; i++ {
+		s := e.net.Join(e.rng.Split("join"))
+		e.grow(s)
+		e.ids[s] = sim.NodeID(idStream.ID())
+		e.procs[s] = e.factory(s, e.ids[s])
+		e.inbox[s] = nil
+		e.joined++
+	}
+	return nil
+}
+
+// refreshEnv rebuilds slot s's environment against the current topology.
+func (e *Engine) refreshEnv(s Slot) *sim.Env {
+	nbrs := e.net.Neighbors(s)
+	ids := make([]sim.NodeID, len(nbrs))
+	for i, w := range nbrs {
+		ids[i] = e.ids[w]
+	}
+	env := &e.envs[s]
+	if env.Rand == nil {
+		env.Rand = e.rng.SplitN("node", s)
+	}
+	env.Vertex = s
+	env.ID = e.ids[s]
+	env.Degree = len(nbrs)
+	env.Neighbors = nbrs
+	env.NeighborIDs = ids
+	return env
+}

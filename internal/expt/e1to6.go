@@ -1,0 +1,506 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"byzcount/internal/byzantine"
+	"byzcount/internal/counting"
+	"byzcount/internal/graph"
+	"byzcount/internal/sim"
+	"byzcount/internal/stats"
+	"byzcount/internal/xrand"
+)
+
+// E1 — Theorem 1: the deterministic LOCAL algorithm decides in O(log n)
+// rounds and n-o(n) good nodes land within the approximation band, under
+// a consistent fake-network adversary with B = n^0.45 nodes.
+func E1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E1",
+		Title: "Deterministic LOCAL counting: rounds and approximation vs n",
+		Claim: "Theorem 1: O(log n) rounds; n-o(n) good nodes decide a constant-factor estimate of log n under n^(1-gamma) Byzantine nodes",
+		Columns: []string{"n", "diam", "log2(n)", "B", "benign_mean", "attack_mean",
+			"attack_bounded_frac", "rounds"},
+	}
+	const d = 8
+	delta := d + 2
+	root := xrand.New(cfg.Seed)
+	for _, n := range nSweep(cfg, []int{64, 128, 256, 512}, []int{64, 128}) {
+		var benignMeans, attackMeans, boundedFracs, roundss, diams []float64
+		for trial := 0; trial < cfg.trials(); trial++ {
+			rng := root.SplitN(fmt.Sprintf("e1-n%d", n), trial)
+			g, err := hnd(n, d, rng.Split("graph"))
+			if err != nil {
+				return nil, err
+			}
+			diam, err := g.Diameter()
+			if err != nil {
+				return nil, err
+			}
+			diams = append(diams, float64(diam))
+			params := counting.DefaultLocalParams(delta)
+
+			benign, err := runProtocol(g, nil, rng.Split("benign").Uint64(),
+				func(v int, eng *sim.Engine) sim.Proc { return counting.NewLocalProc(params) },
+				nil2byz, params.MaxRounds+8, true)
+			if err != nil {
+				return nil, err
+			}
+			benignMeans = append(benignMeans, meanEstimate(benign))
+
+			b := byzCount(n, 0.45)
+			byz, err := byzantine.RandomPlacement(g, b, rng.Split("place"))
+			if err != nil {
+				return nil, err
+			}
+			world, err := byzantine.NewFakeWorld(2*n, d, delta, b, rng.Split("world"))
+			if err != nil {
+				return nil, err
+			}
+			attack, err := runProtocol(g, byz, rng.Split("attack").Uint64(),
+				func(v int, eng *sim.Engine) sim.Proc { return counting.NewLocalProc(params) },
+				func(v int, eng *sim.Engine) sim.Proc { return byzantine.NewFakeNetworkLocal(world, 1) },
+				params.MaxRounds+8, true)
+			if err != nil {
+				return nil, err
+			}
+			attackMeans = append(attackMeans, meanEstimate(attack))
+			boundedFracs = append(boundedFracs,
+				counting.FractionWithinFactor(attack.outcomes, attack.honest, 1, float64(diam+3)))
+			roundss = append(roundss, float64(attack.rounds))
+		}
+		t.AddRow(n, stats.Mean(diams), counting.Log2(n), byzCount(n, 0.45),
+			stats.Mean(benignMeans), stats.Mean(attackMeans),
+			stats.Mean(boundedFracs), stats.Mean(roundss))
+	}
+	t.Notes = append(t.Notes,
+		"bounded = estimate within [1, diam+3]; rounds and estimates must grow with log n")
+	return t, nil
+}
+
+// nil2byz is a placeholder byzProc for runs without Byzantine nodes.
+func nil2byz(v int, eng *sim.Engine) sim.Proc { return byzantine.Silent{} }
+
+// E2 — Theorem 1 tolerance sweep: vary gamma (so B = n^(1-gamma)) with
+// worst-case clustered placement.
+func E2(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E2",
+		Title:   "LOCAL algorithm tolerance: Byzantine budget sweep (clustered placement)",
+		Claim:   "Theorem 1: up to n^(1-gamma) adversarial nodes for any fixed gamma > 0; the o(n) nodes near the adversary are forfeit (Remark 1)",
+		Columns: []string{"gamma", "B", "decided_frac", "bounded_frac", "mean_est", "far_mean_est"},
+	}
+	const d = 8
+	delta := d + 2
+	n := 256
+	if cfg.Quick {
+		n = 128
+	}
+	root := xrand.New(cfg.Seed)
+	for _, gamma := range []float64{0.9, 0.7, 0.5, 0.35} {
+		b := byzCount(n, 1-gamma)
+		var decided, bounded, meanAll, meanFar []float64
+		for trial := 0; trial < cfg.trials(); trial++ {
+			rng := root.SplitN(fmt.Sprintf("e2-g%.2f", gamma), trial)
+			g, err := hnd(n, d, rng.Split("graph"))
+			if err != nil {
+				return nil, err
+			}
+			diam, err := g.Diameter()
+			if err != nil {
+				return nil, err
+			}
+			byz, err := byzantine.ClusteredPlacement(g, b, rng.Split("place"))
+			if err != nil {
+				return nil, err
+			}
+			world, err := byzantine.NewFakeWorld(2*n, d, delta, max(b, 1), rng.Split("world"))
+			if err != nil {
+				return nil, err
+			}
+			params := counting.DefaultLocalParams(delta)
+			res, err := runProtocol(g, byz, rng.Split("run").Uint64(),
+				func(v int, eng *sim.Engine) sim.Proc { return counting.NewLocalProc(params) },
+				func(v int, eng *sim.Engine) sim.Proc { return byzantine.NewFakeNetworkLocal(world, 1) },
+				params.MaxRounds+8, true)
+			if err != nil {
+				return nil, err
+			}
+			decided = append(decided, counting.DecidedFraction(res.outcomes, res.honest))
+			bounded = append(bounded,
+				counting.FractionWithinFactor(res.outcomes, res.honest, 1, float64(diam+3)))
+			meanAll = append(meanAll, meanEstimate(res))
+			// "Far" nodes: distance > 2 from every Byzantine vertex — the
+			// Good set of Lemma 1 at this scale.
+			far := farMask(g, byz, 2)
+			var fsum float64
+			var fcnt int
+			for v, o := range res.outcomes {
+				if res.honest[v] && far[v] && o.Decided {
+					fsum += float64(o.Estimate)
+					fcnt++
+				}
+			}
+			if fcnt > 0 {
+				meanFar = append(meanFar, fsum/float64(fcnt))
+			}
+		}
+		t.AddRow(gamma, b, stats.Mean(decided), stats.Mean(bounded),
+			stats.Mean(meanAll), stats.Mean(meanFar))
+	}
+	return t, nil
+}
+
+// farMask marks vertices farther than radius from every Byzantine vertex.
+func farMask(g *graph.Graph, byz []bool, radius int) []bool {
+	far := make([]bool, g.N())
+	for i := range far {
+		far[i] = true
+	}
+	for v, isByz := range byz {
+		if !isByz {
+			continue
+		}
+		for w, dist := range g.BFSLimited(v, radius) {
+			if dist != graph.Unreachable {
+				far[w] = false
+			}
+		}
+	}
+	return far
+}
+
+// E3 — Theorem 2: the randomized CONGEST algorithm under beacon spam.
+func E3(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E3",
+		Title: "Randomized CONGEST counting under beacon spam vs n",
+		Claim: "Theorem 2: O(B(n) log^2 n) rounds; >= (1-beta)n nodes decide a constant-factor estimate of log n whp, B(n)=n^(1/2-xi)",
+		Columns: []string{"n", "logd(n)", "B", "decided_frac", "bounded_frac",
+			"sacrificed_frac", "median_round", "T_round", "T/(B*log2^2 n)"},
+	}
+	const d = 8
+	root := xrand.New(cfg.Seed)
+	for _, n := range nSweep(cfg, []int{128, 256, 512, 1024}, []int{64, 128}) {
+		b := byzCount(n, 0.45)
+		var decided, bounded, sacrificed, medians, tRounds []float64
+		for trial := 0; trial < cfg.trials(); trial++ {
+			rng := root.SplitN(fmt.Sprintf("e3-n%d", n), trial)
+			g, err := hnd(n, d, rng.Split("graph"))
+			if err != nil {
+				return nil, err
+			}
+			byz, err := byzantine.RandomPlacement(g, b, rng.Split("place"))
+			if err != nil {
+				return nil, err
+			}
+			params := counting.DefaultCongestParams(d)
+			params.MaxPhase = 9
+			res, err := runProtocol(g, byz, rng.Split("run").Uint64(),
+				func(v int, eng *sim.Engine) sim.Proc { return counting.NewCongestProc(params) },
+				func(v int, eng *sim.Engine) sim.Proc {
+					return byzantine.NewBeaconSpammer(params.Schedule, 6, false, rng.SplitN("spam", v))
+				},
+				congestMaxRounds(params), true)
+			if err != nil {
+				return nil, err
+			}
+			decided = append(decided, counting.DecidedFraction(res.outcomes, res.honest))
+			logd := counting.LogD(n, d)
+			bounded = append(bounded,
+				counting.FractionWithinFactor(res.outcomes, res.honest, 0.5*logd, 2*logd+2))
+			// The sacrificed set: nodes dragged to the phase cap, i.e.
+			// (essentially) the spammers' direct neighbors. Its fraction
+			// is the beta of Theorem 2 and must shrink as n grows
+			// (B*d/n ~ d*n^-0.55).
+			sacrificed = append(sacrificed,
+				counting.FractionWithinFactor(res.outcomes, res.honest, float64(params.MaxPhase), 1e18))
+			var rounds []float64
+			tRound := 0.0
+			for v, o := range res.outcomes {
+				if !res.honest[v] || !o.Decided {
+					continue
+				}
+				rounds = append(rounds, float64(o.Round))
+				// T of Definition 2 for the (1-beta)n guaranteed nodes:
+				// the latest decision among nodes inside the estimate
+				// band (the sacrificed cap-hitters are the beta fraction
+				// the theorem excludes).
+				logd := counting.LogD(n, d)
+				if float64(o.Estimate) >= 0.5*logd && float64(o.Estimate) <= 2*logd+2 {
+					if float64(o.Round) > tRound {
+						tRound = float64(o.Round)
+					}
+				}
+			}
+			medians = append(medians, stats.Median(rounds))
+			tRounds = append(tRounds, tRound)
+		}
+		log2 := counting.Log2(n)
+		norm := stats.Mean(tRounds) / (float64(max(b, 1)) * log2 * log2)
+		t.AddRow(n, counting.LogD(n, d), b, stats.Mean(decided),
+			stats.Mean(bounded), stats.Mean(sacrificed), stats.Mean(medians),
+			stats.Mean(tRounds), norm)
+	}
+	t.Notes = append(t.Notes,
+		"median_round = median decision round among honest nodes; T_round = latest decision among in-band nodes (the T of Definition 2 for the (1-beta)n guaranteed deciders)",
+		"T/(B*log2^2 n) staying O(1)-bounded reproduces the O(B log^2 n) round bound's shape",
+		"sacrificed_frac is the measured beta: nodes at the phase cap, ~ the spammers' direct neighbors (B*d/n -> 0)")
+	return t, nil
+}
+
+// E4 — Remark 2: distribution of decided estimates, benign vs attacked.
+func E4(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "CONGEST estimate distribution: benign vs beacon spam",
+		Claim:   "Remark 2: estimates may differ per node by a constant factor but are upper-bounded by ~log n; most nodes agree within +-1",
+		Columns: []string{"scenario", "mode", "frac_within_1_of_mode", "min", "max", "histogram"},
+	}
+	const d = 8
+	n := 512
+	if cfg.Quick {
+		n = 128
+	}
+	root := xrand.New(cfg.Seed)
+
+	scenario := func(label string, withByz bool) error {
+		hist := stats.NewHistogram()
+		for trial := 0; trial < cfg.trials(); trial++ {
+			rng := root.SplitN("e4-"+label, trial)
+			g, err := hnd(n, d, rng.Split("graph"))
+			if err != nil {
+				return err
+			}
+			var byz []bool
+			if withByz {
+				byz, err = byzantine.RandomPlacement(g, byzCount(n, 0.45), rng.Split("place"))
+				if err != nil {
+					return err
+				}
+			}
+			params := counting.DefaultCongestParams(d)
+			params.MaxPhase = 12
+			res, err := runProtocol(g, byz, rng.Split("run").Uint64(),
+				func(v int, eng *sim.Engine) sim.Proc { return counting.NewCongestProc(params) },
+				func(v int, eng *sim.Engine) sim.Proc {
+					return byzantine.NewBeaconSpammer(params.Schedule, 6, false, rng.SplitN("spam", v))
+				},
+				congestMaxRounds(params), true)
+			if err != nil {
+				return err
+			}
+			for _, e := range counting.DecidedEstimates(res.outcomes, res.honest) {
+				hist.Add(e)
+			}
+		}
+		mode, _ := hist.Mode()
+		t.AddRow(label, mode, hist.Fraction(mode-1, mode+1),
+			hist.Buckets()[0], hist.Buckets()[len(hist.Buckets())-1], hist.String())
+		return nil
+	}
+	if err := scenario("benign", false); err != nil {
+		return nil, err
+	}
+	if err := scenario("spam_B="+fmt.Sprint(byzCount(n, 0.45)), true); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// E5 — Corollary 1: the benign case terminates fast and agrees.
+func E5(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E5",
+		Title: "Benign CONGEST run: termination, agreement, message size vs n",
+		Claim: "Corollary 1: with no Byzantine nodes the algorithm terminates in O(log n) rounds, Omega(n) nodes decide ~ceil(log n), and all messages stay small",
+		Columns: []string{"n", "logd(n)", "rounds_to_halt", "rounds/log2(n)",
+			"mode", "frac_within_1", "max_msg_bits"},
+	}
+	const d = 8
+	root := xrand.New(cfg.Seed)
+	for _, n := range nSweep(cfg, []int{128, 256, 512, 1024, 2048}, []int{64, 128}) {
+		var roundss, fracs, maxBits, modes []float64
+		for trial := 0; trial < cfg.trials(); trial++ {
+			rng := root.SplitN(fmt.Sprintf("e5-n%d", n), trial)
+			g, err := hnd(n, d, rng.Split("graph"))
+			if err != nil {
+				return nil, err
+			}
+			params := counting.DefaultCongestParams(d)
+			res, err := runProtocol(g, nil, rng.Split("run").Uint64(),
+				func(v int, eng *sim.Engine) sim.Proc { return counting.NewCongestProc(params) },
+				nil2byz, congestMaxRounds(params), false) // run to full halt
+			if err != nil {
+				return nil, err
+			}
+			hist := stats.NewHistogram()
+			for _, e := range counting.DecidedEstimates(res.outcomes, res.honest) {
+				hist.Add(e)
+			}
+			mode, _ := hist.Mode()
+			modes = append(modes, float64(mode))
+			fracs = append(fracs, hist.Fraction(mode-1, mode+1))
+			roundss = append(roundss, float64(res.rounds))
+			maxBits = append(maxBits, float64(res.metrics.MaxMsgBits))
+		}
+		t.AddRow(n, counting.LogD(n, d), stats.Mean(roundss),
+			stats.Mean(roundss)/counting.Log2(n), stats.Mean(modes),
+			stats.Mean(fracs), stats.Mean(maxBits))
+	}
+	return t, nil
+}
+
+// E6 — baselines collapse under one Byzantine node; the paper's protocol
+// does not.
+func E6(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E6",
+		Title:   "Baseline protocols vs a single Byzantine node",
+		Claim:   "Section 1.2: the geometric / support-estimation / spanning-tree protocols are exact benignly but fail with even one Byzantine node",
+		Columns: []string{"protocol", "byz", "median_estimate", "truth", "relative_error"},
+	}
+	const d = 8
+	n := 256
+	if cfg.Quick {
+		n = 128
+	}
+	root := xrand.New(cfg.Seed)
+	truthLog2 := counting.Log2(n)
+
+	type scenario struct {
+		name  string
+		byz   int
+		truth float64
+		run   func(rng *xrand.Rand, g *graph.Graph, byz []bool) (float64, error)
+	}
+	geoRun := func(rng *xrand.Rand, g *graph.Graph, byz []bool) (float64, error) {
+		res, err := runProtocol(g, byz, rng.Uint64(),
+			func(v int, eng *sim.Engine) sim.Proc { return counting.NewGeometricProc(16) },
+			func(v int, eng *sim.Engine) sim.Proc { return &byzantine.GeoMaxFaker{FakeValue: 1 << 20, Period: 1} },
+			4000, false)
+		if err != nil {
+			return 0, err
+		}
+		vals := counting.DecidedEstimates(res.outcomes, res.honest)
+		return stats.Median(stats.Ints(vals)), nil
+	}
+	supRun := func(rng *xrand.Rand, g *graph.Graph, byz []bool) (float64, error) {
+		res, err := runProtocol(g, byz, rng.Uint64(),
+			func(v int, eng *sim.Engine) sim.Proc { return counting.NewSupportProc(32, 16) },
+			func(v int, eng *sim.Engine) sim.Proc { return &byzantine.SupportMinFaker{K: 32, Period: 4} },
+			4000, false)
+		if err != nil {
+			return 0, err
+		}
+		vals := counting.DecidedEstimates(res.outcomes, res.honest)
+		return stats.Median(stats.Ints(vals)), nil
+	}
+	treeRun := func(rng *xrand.Rand, g *graph.Graph, byz []bool) (float64, error) {
+		res, err := runProtocol(g, byz, rng.Uint64(),
+			func(v int, eng *sim.Engine) sim.Proc { return counting.NewTreeCountProc(v == findRoot(byz)) },
+			func(v int, eng *sim.Engine) sim.Proc { return &byzantine.TreeCountInflater{Inflation: 1 << 20} },
+			20*n, false)
+		if err != nil {
+			return 0, err
+		}
+		vals := counting.DecidedEstimates(res.outcomes, res.honest)
+		if len(vals) == 0 {
+			return 0, nil
+		}
+		return math.Log2(math.Max(1, stats.Median(stats.Ints(vals)))), nil
+	}
+	kmvRun := func(rng *xrand.Rand, g *graph.Graph, byz []bool) (float64, error) {
+		res, err := runProtocol(g, byz, rng.Uint64(),
+			func(v int, eng *sim.Engine) sim.Proc { return counting.NewKMVProc(32, 16) },
+			func(v int, eng *sim.Engine) sim.Proc { return &byzantine.KMVPoisoner{K: 32, Period: 4} },
+			4000, false)
+		if err != nil {
+			return 0, err
+		}
+		vals := counting.DecidedEstimates(res.outcomes, res.honest)
+		return stats.Median(stats.Ints(vals)), nil
+	}
+	walkRun := func(rng *xrand.Rand, g *graph.Graph, byz []bool) (float64, error) {
+		res, err := runProtocol(g, byz, rng.Uint64(),
+			func(v int, eng *sim.Engine) sim.Proc { return counting.NewReturnWalkProc(4, 64*g.N()) },
+			func(v int, eng *sim.Engine) sim.Proc { return byzantine.Silent{} }, // walk absorber
+			100*g.N(), false)
+		if err != nil {
+			return 0, err
+		}
+		vals := counting.DecidedEstimates(res.outcomes, res.honest)
+		return stats.Median(stats.Ints(vals)), nil
+	}
+	congestRun := func(rng *xrand.Rand, g *graph.Graph, byz []bool) (float64, error) {
+		params := counting.DefaultCongestParams(d)
+		params.MaxPhase = 12
+		res, err := runProtocol(g, byz, rng.Uint64(),
+			func(v int, eng *sim.Engine) sim.Proc { return counting.NewCongestProc(params) },
+			func(v int, eng *sim.Engine) sim.Proc {
+				return byzantine.NewBeaconSpammer(params.Schedule, 6, false, rng.Split("spamr"))
+			},
+			congestMaxRounds(params), true)
+		if err != nil {
+			return 0, err
+		}
+		vals := counting.DecidedEstimates(res.outcomes, res.honest)
+		return stats.Median(stats.Ints(vals)), nil
+	}
+	scenarios := []scenario{
+		{"geometric", 0, truthLog2, geoRun},
+		{"geometric", 1, truthLog2, geoRun},
+		{"support", 0, truthLog2, supRun},
+		{"support", 1, truthLog2, supRun},
+		{"birthday-kmv", 0, truthLog2, kmvRun},
+		{"birthday-kmv", 1, truthLog2, kmvRun},
+		{"return-walk", 0, truthLog2, walkRun},
+		{"return-walk", 4, truthLog2, walkRun},
+		{"spanning-tree", 0, truthLog2, treeRun},
+		{"spanning-tree", 1, truthLog2, treeRun},
+		{"congest(paper)", 0, counting.LogD(n, d), congestRun},
+		{"congest(paper)", byzCount(n, 0.45), counting.LogD(n, d), congestRun},
+	}
+	for _, sc := range scenarios {
+		var medians []float64
+		for trial := 0; trial < cfg.trials(); trial++ {
+			rng := root.SplitN(fmt.Sprintf("e6-%s-%d", sc.name, sc.byz), trial)
+			g, err := hnd(n, d, rng.Split("graph"))
+			if err != nil {
+				return nil, err
+			}
+			var byz []bool
+			if sc.byz > 0 {
+				byz, err = byzantine.RandomPlacement(g, sc.byz, rng.Split("place"))
+				if err != nil {
+					return nil, err
+				}
+			}
+			m, err := sc.run(rng.Split("run"), g, byz)
+			if err != nil {
+				return nil, err
+			}
+			medians = append(medians, m)
+		}
+		med := stats.Mean(medians)
+		relErr := math.Abs(med-sc.truth) / math.Max(sc.truth, 1)
+		t.AddRow(sc.name, sc.byz, med, sc.truth, relErr)
+	}
+	t.Notes = append(t.Notes,
+		"spanning-tree medians are log2 of the counted total; the congest protocol estimates log_d n")
+	return t, nil
+}
+
+// findRoot picks the lowest-index honest vertex as the tree-count root.
+func findRoot(byz []bool) int {
+	if byz == nil {
+		return 0
+	}
+	for v, b := range byz {
+		if !b {
+			return v
+		}
+	}
+	return 0
+}

@@ -1,0 +1,103 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Seed: 42, Trials: 1, Quick: true} }
+
+func TestIDsComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Fatalf("registry has %d experiments: %v", len(ids), ids)
+	}
+	if ids[0] != "E1" || ids[len(ids)-1] != "E15" {
+		t.Errorf("IDs order: %v", ids)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99", quickCfg()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Claim:   "c",
+		Columns: []string{"a", "long_column"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow(1, 2.34567)
+	tbl.AddRow("xyz", 0.5)
+	out := tbl.Render()
+	for _, want := range []string{"T — demo", "paper claim: c", "long_column", "2.35", "xyz", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigTrialsDefault(t *testing.T) {
+	if (Config{}).trials() != 3 {
+		t.Error("default trials")
+	}
+	if (Config{Trials: 7}).trials() != 7 {
+		t.Error("explicit trials")
+	}
+}
+
+// Every experiment must run to completion in quick mode and produce a
+// well-formed table. These are the integration smoke tests of the whole
+// reproduction pipeline.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tbl, err := Run(id, quickCfg())
+			if err != nil {
+				t.Fatalf("%s failed: %v", id, err)
+			}
+			if tbl.ID != id {
+				t.Errorf("table ID %q", tbl.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", id)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Errorf("%s row width %d != %d columns", id, len(row), len(tbl.Columns))
+				}
+			}
+			if tbl.Render() == "" {
+				t.Error("empty render")
+			}
+		})
+	}
+}
+
+func TestByzCountHelper(t *testing.T) {
+	if byzCount(256, 0.45) != 12 {
+		t.Errorf("byzCount(256,0.45) = %d", byzCount(256, 0.45))
+	}
+	if byzCount(2, 2) != 1 { // clamped below n
+		t.Errorf("clamp failed: %d", byzCount(2, 2))
+	}
+	if byzCount(10, -1) != 0 {
+		t.Errorf("floor failed: %d", byzCount(10, -1))
+	}
+}
+
+func TestFarMask(t *testing.T) {
+	// Build via the E2 helper on a tiny graph.
+	tbl, err := E2(Config{Seed: 1, Trials: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Errorf("E2 rows = %d", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,268 @@
+package graph
+
+// Unreachable is the distance value reported for vertices not reachable
+// from the BFS source.
+const Unreachable = -1
+
+// BFS returns the distance from src to every vertex, with Unreachable (-1)
+// for vertices in other components.
+func (g *Graph) BFS(src int) []int {
+	g.check(src)
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]int32, 1, len(g.adj))
+	queue[0] = int32(src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, w := range g.adj[u] {
+			if dist[w] == Unreachable {
+				dist[w] = du + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSLimited is BFS truncated at the given radius: vertices farther than
+// radius keep distance Unreachable. It visits only the ball, so it is fast
+// for small radii on large graphs.
+func (g *Graph) BFSLimited(src, radius int) []int {
+	g.check(src)
+	if radius < 0 {
+		panic("graph: negative radius")
+	}
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		if du == radius {
+			continue
+		}
+		for _, w := range g.adj[u] {
+			if dist[w] == Unreachable {
+				dist[w] = du + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Distance returns the hop distance between u and v, or Unreachable.
+func (g *Graph) Distance(u, v int) int {
+	g.check(v)
+	return g.BFS(u)[v]
+}
+
+// Ball returns the inclusive r-hop neighborhood B(u,r) of u, i.e. all
+// vertices at distance <= r, in BFS order (u first). Only the ball is
+// visited, so the cost is proportional to its size.
+func (g *Graph) Ball(u, r int) []int {
+	g.check(u)
+	if r < 0 {
+		panic("graph: negative radius")
+	}
+	dist := make(map[int32]int, 64)
+	dist[int32(u)] = 0
+	queue := []int32{int32(u)}
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		dx := dist[x]
+		if dx == r {
+			continue
+		}
+		for _, w := range g.adj[x] {
+			if _, seen := dist[w]; !seen {
+				dist[w] = dx + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	out := make([]int, len(queue))
+	for i, x := range queue {
+		out[i] = int(x)
+	}
+	return out
+}
+
+// BallSize returns |B(u,r)| without materializing the ball.
+func (g *Graph) BallSize(u, r int) int {
+	dist := g.BFSLimited(u, r)
+	count := 0
+	for _, d := range dist {
+		if d != Unreachable {
+			count++
+		}
+	}
+	return count
+}
+
+// Boundary returns the r-boundary D(u,r): the vertices at distance exactly
+// r from u.
+func (g *Graph) Boundary(u, r int) []int {
+	dist := g.BFSLimited(u, r)
+	var out []int
+	for v, d := range dist {
+		if d == r {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Eccentricity returns the maximum distance from u to any reachable vertex
+// and whether all vertices were reachable.
+func (g *Graph) Eccentricity(u int) (ecc int, connected bool) {
+	dist := g.BFS(u)
+	connected = true
+	for _, d := range dist {
+		if d == Unreachable {
+			connected = false
+			continue
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, connected
+}
+
+// Diameter returns the exact diameter via all-pairs BFS. It returns
+// ErrNotConnected for disconnected graphs. O(n*m); intended for the
+// simulation sizes used in this repository.
+func (g *Graph) Diameter() (int, error) {
+	if len(g.adj) == 0 {
+		return 0, nil
+	}
+	diam := 0
+	for u := range g.adj {
+		ecc, conn := g.Eccentricity(u)
+		if !conn {
+			return 0, ErrNotConnected
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, nil
+}
+
+// ApproxDiameter returns a lower bound on the diameter computed with the
+// double-sweep heuristic from the given start vertex: BFS to the farthest
+// vertex, then BFS again from there. For expanders and trees the bound is
+// exact or within a small constant. Disconnected graphs yield
+// ErrNotConnected.
+func (g *Graph) ApproxDiameter(start int) (int, error) {
+	g.check(start)
+	far, err := g.farthest(start)
+	if err != nil {
+		return 0, err
+	}
+	far2, err := g.farthest(far)
+	if err != nil {
+		return 0, err
+	}
+	return g.Distance(far, far2), nil
+}
+
+func (g *Graph) farthest(u int) (int, error) {
+	dist := g.BFS(u)
+	best, bestD := u, 0
+	for v, d := range dist {
+		if d == Unreachable {
+			return 0, ErrNotConnected
+		}
+		if d > bestD {
+			best, bestD = v, d
+		}
+	}
+	return best, nil
+}
+
+// ConnectedComponents returns a component id per vertex and the number of
+// components. Ids are assigned in order of lowest-numbered member.
+func (g *Graph) ConnectedComponents() (comp []int, count int) {
+	comp = make([]int, len(g.adj))
+	for i := range comp {
+		comp[i] = -1
+	}
+	for u := range g.adj {
+		if comp[u] != -1 {
+			continue
+		}
+		comp[u] = count
+		queue := []int32{int32(u)}
+		for head := 0; head < len(queue); head++ {
+			x := queue[head]
+			for _, w := range g.adj[x] {
+				if comp[w] == -1 {
+					comp[w] = count
+					queue = append(queue, w)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// IsConnected reports whether the graph has exactly one connected
+// component. The empty graph counts as connected.
+func (g *Graph) IsConnected() bool {
+	if len(g.adj) == 0 {
+		return true
+	}
+	_, c := g.ConnectedComponents()
+	return c == 1
+}
+
+// ShortestPath returns one shortest u-v path (inclusive of both endpoints)
+// or nil if v is unreachable from u.
+func (g *Graph) ShortestPath(u, v int) []int {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return []int{u}
+	}
+	parent := make([]int32, len(g.adj))
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[u] = -1
+	queue := []int32{int32(u)}
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		for _, w := range g.adj[x] {
+			if parent[w] == -2 {
+				parent[w] = x
+				if int(w) == v {
+					return buildPath(parent, v)
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return nil
+}
+
+func buildPath(parent []int32, v int) []int {
+	var rev []int
+	for x := int32(v); x != -1; x = parent[x] {
+		rev = append(rev, int(x))
+	}
+	out := make([]int, len(rev))
+	for i, x := range rev {
+		out[len(rev)-1-i] = x
+	}
+	return out
+}

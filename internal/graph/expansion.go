@@ -1,0 +1,260 @@
+package graph
+
+import (
+	"math"
+
+	"byzcount/internal/xrand"
+)
+
+// VertexExpansionExact computes the exact vertex expansion
+//
+//	h(G) = min over nonempty S with |S| <= n/2 of |Out(S)| / |S|
+//
+// by enumerating all 2^n - 2 candidate subsets (Definition 1). It is
+// intended for validation on tiny graphs; it panics for n > 24.
+func (g *Graph) VertexExpansionExact() float64 {
+	n := len(g.adj)
+	if n > 24 {
+		panic("graph: VertexExpansionExact limited to n <= 24")
+	}
+	if n < 2 {
+		return 0
+	}
+	best := math.Inf(1)
+	for mask := 1; mask < (1<<uint(n))-1; mask++ {
+		size := popcount(mask)
+		if size > n/2 {
+			continue
+		}
+		out := g.outSizeMask(mask)
+		ratio := float64(out) / float64(size)
+		if ratio < best {
+			best = ratio
+		}
+	}
+	return best
+}
+
+func popcount(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// outSizeMask returns |Out(S)| for the subset encoded in mask (n <= 24).
+func (g *Graph) outSizeMask(mask int) int {
+	out := 0
+	var outMask int
+	for u := range g.adj {
+		if mask&(1<<uint(u)) == 0 {
+			continue
+		}
+		for _, w := range g.adj[u] {
+			bit := 1 << uint(w)
+			if mask&bit == 0 && outMask&bit == 0 {
+				outMask |= bit
+				out++
+			}
+		}
+	}
+	return out
+}
+
+// OutNeighbors returns Out(S): the set of vertices outside S adjacent to at
+// least one member of S. S is given as a vertex list; duplicates are
+// tolerated.
+func (g *Graph) OutNeighbors(s []int) []int {
+	inS := make(map[int32]bool, len(s))
+	for _, v := range s {
+		g.check(v)
+		inS[int32(v)] = true
+	}
+	seen := make(map[int32]bool)
+	var out []int
+	for _, v := range s {
+		for _, w := range g.adj[v] {
+			if !inS[w] && !seen[w] {
+				seen[w] = true
+				out = append(out, int(w))
+			}
+		}
+	}
+	return out
+}
+
+// ExpansionOf returns |Out(S)|/|S| for the subset S (as a vertex list,
+// deduplicated internally). Empty S yields +Inf.
+func (g *Graph) ExpansionOf(s []int) float64 {
+	uniq := make(map[int]bool, len(s))
+	for _, v := range s {
+		uniq[v] = true
+	}
+	if len(uniq) == 0 {
+		return math.Inf(1)
+	}
+	dedup := make([]int, 0, len(uniq))
+	for v := range uniq {
+		dedup = append(dedup, v)
+	}
+	return float64(len(g.OutNeighbors(dedup))) / float64(len(dedup))
+}
+
+// EstimateVertexExpansion returns an upper bound on h(G) obtained by BFS
+// sweeps: for each of the given number of random start vertices it orders
+// vertices by BFS discovery and evaluates |Out(S)|/|S| over all prefixes S
+// with |S| <= n/2, keeping the minimum. BFS prefixes are exactly the ball
+// family the counting algorithms reason about, so this heuristic is tight
+// on the topologies in this repository (rings, dumbbells, expanders).
+func (g *Graph) EstimateVertexExpansion(sweeps int, rng *xrand.Rand) float64 {
+	n := len(g.adj)
+	if n < 2 {
+		return 0
+	}
+	if sweeps < 1 {
+		sweeps = 1
+	}
+	best := math.Inf(1)
+	inPrefix := make([]bool, n)
+	outCount := make([]bool, n)
+	for s := 0; s < sweeps; s++ {
+		src := rng.Intn(n)
+		order := g.Ball(src, n) // full BFS order of src's component
+		for i := range inPrefix {
+			inPrefix[i] = false
+			outCount[i] = false
+		}
+		outSize := 0
+		for i, v := range order {
+			inPrefix[v] = true
+			if outCount[v] {
+				outCount[v] = false
+				outSize--
+			}
+			for _, w := range g.adj[v] {
+				if !inPrefix[w] && !outCount[w] {
+					outCount[w] = true
+					outSize++
+				}
+			}
+			size := i + 1
+			if size > n/2 {
+				break
+			}
+			if ratio := float64(outSize) / float64(size); ratio < best {
+				best = ratio
+			}
+		}
+	}
+	return best
+}
+
+// BallGrowthProfile returns the sequence |B(u,1)|/|B(u,0)|, ...,
+// |B(u,r)|/|B(u,r-1)| of ball growth ratios around u. Expanders keep the
+// ratio bounded away from 1 until the ball covers a constant fraction of
+// the graph; this is the local expansion signal Algorithm 1 checks.
+func (g *Graph) BallGrowthProfile(u, r int) []float64 {
+	dist := g.BFSLimited(u, r)
+	layerSize := make([]int, r+1)
+	for _, d := range dist {
+		if d != Unreachable {
+			layerSize[d]++
+		}
+	}
+	out := make([]float64, 0, r)
+	cum := layerSize[0]
+	for i := 1; i <= r; i++ {
+		prev := cum
+		cum += layerSize[i]
+		if prev == 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, float64(cum)/float64(prev))
+	}
+	return out
+}
+
+// CheegerBoundSpectral estimates the spectral gap of the lazy random walk
+// on g via power iteration and converts it to a vertex-expansion lower
+// bound using the discrete Cheeger inequality h >= gap/2 (valid for
+// d-regular graphs; for irregular graphs it is a heuristic). It returns 0
+// for graphs where the iteration fails to separate the second eigenvalue
+// (e.g. disconnected graphs).
+//
+// The walk matrix is W = 1/2 (I + P) with P the transition matrix; power
+// iteration runs on the component orthogonal to the stationary
+// distribution.
+func (g *Graph) CheegerBoundSpectral(iters int, rng *xrand.Rand) float64 {
+	n := len(g.adj)
+	if n < 2 || !g.IsConnected() {
+		return 0
+	}
+	if iters < 8 {
+		iters = 8
+	}
+	deg := make([]float64, n)
+	var totalDeg float64
+	for u := range g.adj {
+		deg[u] = float64(len(g.adj[u]))
+		totalDeg += deg[u]
+	}
+	// Stationary distribution pi(u) = deg(u)/2m.
+	pi := make([]float64, n)
+	for u := range pi {
+		pi[u] = deg[u] / totalDeg
+	}
+	x := make([]float64, n)
+	for u := range x {
+		x[u] = rng.Float64() - 0.5
+	}
+	y := make([]float64, n)
+	var lambda float64
+	for it := 0; it < iters; it++ {
+		// Project out the stationary component (in the pi inner product the
+		// top eigenvector of the reversible walk is the all-ones vector).
+		var dot float64
+		for u := range x {
+			dot += pi[u] * x[u]
+		}
+		for u := range x {
+			x[u] -= dot
+		}
+		// y = W x with W = (I + P)/2, P x(u) = avg over neighbors.
+		for u := range y {
+			var sum float64
+			for _, w := range g.adj[u] {
+				sum += x[w]
+			}
+			y[u] = 0.5*x[u] + 0.5*sum/deg[u]
+		}
+		// Rayleigh quotient in the pi inner product.
+		var num, den float64
+		for u := range x {
+			num += pi[u] * x[u] * y[u]
+			den += pi[u] * x[u] * x[u]
+		}
+		if den == 0 {
+			return 0
+		}
+		lambda = num / den
+		// Normalize to avoid under/overflow.
+		var norm float64
+		for u := range y {
+			norm += y[u] * y[u]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return 0
+		}
+		for u := range y {
+			x[u] = y[u] / norm
+		}
+	}
+	gap := 1 - lambda
+	if gap < 0 {
+		gap = 0
+	}
+	return gap / 2
+}

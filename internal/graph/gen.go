@@ -1,0 +1,296 @@
+package graph
+
+import (
+	"fmt"
+
+	"byzcount/internal/xrand"
+)
+
+// HND generates an H(n,d) random regular multigraph: the union of d/2
+// independent uniform Hamiltonian cycles on n vertices (the permutation
+// model of Section 2 of the paper). d must be even and >= 2, and n >= 3.
+// The result is d-regular; parallel edges are possible (and expected in
+// constant number), matching the model the paper analyzes.
+func HND(n, d int, rng *xrand.Rand) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: HND requires n >= 3, got %d", n)
+	}
+	if d < 2 || d%2 != 0 {
+		return nil, fmt.Errorf("graph: HND requires even d >= 2, got %d", d)
+	}
+	g := New(n)
+	for c := 0; c < d/2; c++ {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			g.AddEdge(perm[i], perm[(i+1)%n])
+		}
+	}
+	return g, nil
+}
+
+// HNDSimple generates H(n,d) graphs until one is simple (no parallel
+// edges; Hamiltonian cycles never create self-loops for n >= 3). The
+// permutation model is contiguous with the simple d-regular model
+// (Greenhill et al.); the probability a draw is simple is a constant in n
+// but decays like exp(-Θ(d²)), so pass a maxAttempts budget sized for the
+// chosen d (a few hundred suffices for d <= 6).
+func HNDSimple(n, d, maxAttempts int, rng *xrand.Rand) (*Graph, error) {
+	for i := 0; i < maxAttempts; i++ {
+		g, err := HND(n, d, rng)
+		if err != nil {
+			return nil, err
+		}
+		if g.IsSimple() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: no simple H(%d,%d) graph in %d attempts", n, d, maxAttempts)
+}
+
+// ConfigurationModel generates a random multigraph with the given degree
+// sequence by uniformly pairing half-edges (Bollobas' pairing model,
+// Section 2). The degree sum must be even.
+func ConfigurationModel(degrees []int, rng *xrand.Rand) (*Graph, error) {
+	total := 0
+	for v, d := range degrees {
+		if d < 0 {
+			return nil, fmt.Errorf("graph: negative degree %d for vertex %d", d, v)
+		}
+		total += d
+	}
+	if total%2 != 0 {
+		return nil, fmt.Errorf("graph: odd degree sum %d", total)
+	}
+	stubs := make([]int32, 0, total)
+	for v, d := range degrees {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	g := New(len(degrees))
+	for i := 0; i+1 < len(stubs); i += 2 {
+		g.AddEdge(int(stubs[i]), int(stubs[i+1]))
+	}
+	return g, nil
+}
+
+// RandomRegular generates a simple d-regular graph on n vertices by
+// rejection-sampling the configuration model. n*d must be even and
+// d < n. For constant d the acceptance probability is a constant, so the
+// expected number of attempts is O(1); maxAttempts bounds the worst case.
+func RandomRegular(n, d, maxAttempts int, rng *xrand.Rand) (*Graph, error) {
+	if d >= n {
+		return nil, fmt.Errorf("graph: RandomRegular requires d < n (d=%d, n=%d)", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: RandomRegular requires even n*d")
+	}
+	degrees := make([]int, n)
+	for i := range degrees {
+		degrees[i] = d
+	}
+	for i := 0; i < maxAttempts; i++ {
+		g, err := ConfigurationModel(degrees, rng)
+		if err != nil {
+			return nil, err
+		}
+		if g.IsSimple() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: no simple %d-regular graph on %d vertices in %d attempts", d, n, maxAttempts)
+}
+
+// WattsStrogatz generates a small-world network: a ring lattice where each
+// vertex connects to its k nearest neighbors on each side (2k per vertex),
+// with each lattice edge rewired to a uniform random endpoint with
+// probability beta. This is the topology assumed by the prior work of
+// Chatterjee et al. [14] that this paper removes; it appears here as a
+// comparison substrate. Self-loops and duplicate edges are avoided during
+// rewiring.
+func WattsStrogatz(n, k int, beta float64, rng *xrand.Rand) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: WattsStrogatz requires n >= 3, got %d", n)
+	}
+	if k < 1 || 2*k >= n {
+		return nil, fmt.Errorf("graph: WattsStrogatz requires 1 <= k and 2k < n (k=%d, n=%d)", k, n)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("graph: WattsStrogatz beta %v outside [0,1]", beta)
+	}
+	// Track existing edges to keep the graph simple under rewiring.
+	type edge struct{ u, v int }
+	norm := func(u, v int) edge {
+		if u > v {
+			u, v = v, u
+		}
+		return edge{u, v}
+	}
+	exists := make(map[edge]bool, n*k)
+	var edges []edge
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k; j++ {
+			e := norm(u, (u+j)%n)
+			if !exists[e] {
+				exists[e] = true
+				edges = append(edges, e)
+			}
+		}
+	}
+	for i, e := range edges {
+		if !rng.Bernoulli(beta) {
+			continue
+		}
+		// Rewire the far endpoint to a uniform random vertex, avoiding
+		// loops and duplicates; keep the original edge if no candidate is
+		// found quickly (degenerate only for very dense graphs).
+		for attempt := 0; attempt < 32; attempt++ {
+			w := rng.Intn(n)
+			ne := norm(e.u, w)
+			if w == e.u || exists[ne] {
+				continue
+			}
+			delete(exists, e)
+			exists[ne] = true
+			edges[i] = ne
+			break
+		}
+	}
+	g := New(n)
+	for _, e := range edges {
+		g.AddEdge(e.u, e.v)
+	}
+	return g, nil
+}
+
+// Ring returns the n-cycle C_n (n >= 3): connected, 2-regular, and with
+// vanishing expansion — a natural non-expander control.
+func Ring(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: Ring requires n >= 3, got %d", n)
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g, nil
+}
+
+// Path returns the n-vertex path graph.
+func Path(n int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: Path requires n >= 1, got %d", n)
+	}
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g, nil
+}
+
+// Torus returns the rows x cols wraparound grid (4-regular when both
+// dimensions are >= 3).
+func Torus(rows, cols int) (*Graph, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("graph: Torus requires rows, cols >= 3 (got %dx%d)", rows, cols)
+	}
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddEdge(id(r, c), id((r+1)%rows, c))
+			g.AddEdge(id(r, c), id(r, (c+1)%cols))
+		}
+	}
+	return g, nil
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: Complete requires n >= 1, got %d", n)
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g, nil
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim vertices.
+func Hypercube(dim int) (*Graph, error) {
+	if dim < 1 || dim > 24 {
+		return nil, fmt.Errorf("graph: Hypercube dim %d outside [1,24]", dim)
+	}
+	n := 1 << uint(dim)
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < dim; b++ {
+			v := u ^ (1 << uint(b))
+			if u < v {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g, nil
+}
+
+// CompleteBinaryTree returns a complete binary tree with the given number
+// of levels (level 1 = a single root).
+func CompleteBinaryTree(levels int) (*Graph, error) {
+	if levels < 1 || levels > 24 {
+		return nil, fmt.Errorf("graph: CompleteBinaryTree levels %d outside [1,24]", levels)
+	}
+	n := (1 << uint(levels)) - 1
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, (v-1)/2)
+	}
+	return g, nil
+}
+
+// Dumbbell builds the Theorem 3 topology: two H(n,d) expander "bells" of
+// sizes n1 and n2 joined only through a single bridge vertex. The bridge
+// (returned as bridge) is the natural location for a Byzantine node: it is
+// a cut vertex, so the graph has no vertex expansion to speak of, and the
+// two sides cannot verify each other's existence except through it.
+func Dumbbell(n1, n2, d int, rng *xrand.Rand) (g *Graph, bridge int, err error) {
+	if n1 < 3 || n2 < 3 {
+		return nil, 0, fmt.Errorf("graph: Dumbbell requires both sides >= 3 (got %d, %d)", n1, n2)
+	}
+	left, err := HND(n1, d, rng.Split("left"))
+	if err != nil {
+		return nil, 0, err
+	}
+	right, err := HND(n2, d, rng.Split("right"))
+	if err != nil {
+		return nil, 0, err
+	}
+	// Layout: [0,n1) left, [n1, n1+n2) right, bridge = n1+n2.
+	g = New(n1 + n2 + 1)
+	for _, e := range left.EdgeList() {
+		g.AddEdge(e[0], e[1])
+	}
+	for _, e := range right.EdgeList() {
+		g.AddEdge(e[0]+n1, e[1]+n1)
+	}
+	bridge = n1 + n2
+	g.AddEdge(bridge, rng.Intn(n1))
+	g.AddEdge(bridge, n1+rng.Intn(n2))
+	return g, bridge, nil
+}
+
+// Star returns the star graph K_{1,n-1} with vertex 0 as the hub.
+func Star(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: Star requires n >= 2, got %d", n)
+	}
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g, nil
+}

@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"fmt"
+
+	"byzcount/internal/xrand"
+)
+
+// SimpleRegular generates a simple (no loops, no parallel edges)
+// d-regular graph on n vertices using the Steger-Wormald algorithm:
+// repeatedly pick a uniform random pair of distinct, non-adjacent
+// vertices that still have free stubs and connect them; restart if the
+// process gets stuck. For constant d the output distribution is
+// asymptotically uniform and the expected number of restarts is O(1) —
+// unlike plain rejection sampling of the configuration model, whose
+// acceptance probability decays like exp(-Θ(d²)).
+func SimpleRegular(n, d, maxRestarts int, rng *xrand.Rand) (*Graph, error) {
+	if d < 1 || d >= n {
+		return nil, fmt.Errorf("graph: SimpleRegular requires 1 <= d < n (d=%d, n=%d)", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: SimpleRegular requires even n*d")
+	}
+	for restart := 0; restart < maxRestarts; restart++ {
+		if g, ok := stegerWormaldAttempt(n, d, rng); ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: SimpleRegular(%d,%d) stuck after %d restarts", n, d, maxRestarts)
+}
+
+func stegerWormaldAttempt(n, d int, rng *xrand.Rand) (*Graph, bool) {
+	g := New(n)
+	deg := make([]int, n)
+	// Vertices with free stubs, as a compact slice we sample from.
+	free := make([]int32, n)
+	for i := range free {
+		free[i] = int32(i)
+	}
+	adj := make([]map[int32]bool, n)
+	for i := range adj {
+		adj[i] = make(map[int32]bool, d)
+	}
+	removeAt := func(i int) {
+		free[i] = free[len(free)-1]
+		free = free[:len(free)-1]
+	}
+	edgesNeeded := n * d / 2
+	for e := 0; e < edgesNeeded; e++ {
+		// Try to find a suitable pair among the free vertices. When few
+		// remain, the number of candidate pairs is tiny, so a bounded
+		// number of attempts either succeeds or we restart.
+		found := false
+		for attempt := 0; attempt < 64; attempt++ {
+			if len(free) < 2 {
+				break
+			}
+			i := rng.Intn(len(free))
+			j := rng.Intn(len(free) - 1)
+			if j >= i {
+				j++
+			}
+			u, v := free[i], free[j]
+			if u == v || adj[u][v] {
+				continue
+			}
+			g.AddEdge(int(u), int(v))
+			adj[u][v] = true
+			adj[v][u] = true
+			deg[u]++
+			deg[v]++
+			// Remove saturated endpoints (higher index first so the swap
+			// trick stays valid).
+			if i < j {
+				i, j = j, i
+				u, v = v, u
+			}
+			if deg[u] == d {
+				removeAt(i)
+			}
+			if deg[v] == d {
+				removeAt(j)
+			}
+			found = true
+			break
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return g, true
+}

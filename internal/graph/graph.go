@@ -1,0 +1,262 @@
+// Package graph provides the network substrate for the Byzantine counting
+// reproduction: an undirected (multi)graph type, the random-graph
+// generators used by the paper (the H(n,d) permutation model, the
+// configuration model, Watts-Strogatz small-world networks), deterministic
+// topologies for baselines and the impossibility experiment, and the
+// structural tools the algorithms rely on (BFS balls and boundaries,
+// diameter, vertex expansion, the locally-tree-like test of Definition 3).
+//
+// Vertices are dense integers 0..N()-1. Edges are undirected; parallel
+// edges and self-loops are representable because the H(n,d) and
+// configuration models can produce them (the paper notes the expected
+// constant number of multi-edges in Section 1.2). Generators that need
+// simple graphs resample until simple.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected multigraph over vertices 0..n-1. The zero value is
+// an empty graph with no vertices; use New to create a graph with vertices.
+type Graph struct {
+	adj [][]int32
+	m   int // number of undirected edges (each parallel edge counted once)
+}
+
+// New returns a graph with n isolated vertices. It panics if n < 0.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{adj: make([][]int32, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges (parallel edges each count).
+func (g *Graph) M() int { return g.m }
+
+// AddEdge adds an undirected edge between u and v. Parallel edges and
+// self-loops are allowed; a self-loop contributes 2 to the degree of u.
+// It panics if either endpoint is out of range.
+func (g *Graph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	g.m++
+}
+
+func (g *Graph) check(u int) {
+	if u < 0 || u >= len(g.adj) {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, len(g.adj)))
+	}
+}
+
+// Degree returns the degree of u. A self-loop contributes 2: AddEdge(u,u)
+// stores two adjacency entries for u, so the list length is already the
+// graph-theoretic degree.
+func (g *Graph) Degree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// Neighbors returns a copy of u's adjacency list (possibly with
+// duplicates for parallel edges and u itself for self-loops).
+func (g *Graph) Neighbors(u int) []int {
+	g.check(u)
+	out := make([]int, len(g.adj[u]))
+	for i, w := range g.adj[u] {
+		out[i] = int(w)
+	}
+	return out
+}
+
+// Adj returns u's adjacency list as a shared read-only view. Callers must
+// not modify the returned slice; use Neighbors for a private copy. This
+// no-copy accessor exists because the simulator touches adjacency on every
+// round for every node.
+func (g *Graph) Adj(u int) []int32 {
+	g.check(u)
+	return g.adj[u]
+}
+
+// HasEdge reports whether at least one edge joins u and v.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	// Scan the smaller list.
+	a, b := u, v
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, w := range g.adj[a] {
+		if int(w) == b {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxDegree returns the maximum vertex degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := range g.adj {
+		if d := g.Degree(u); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MinDegree returns the minimum vertex degree, or 0 for an empty graph.
+func (g *Graph) MinDegree() int {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	min := g.Degree(0)
+	for u := 1; u < len(g.adj); u++ {
+		if d := g.Degree(u); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// IsRegular reports whether every vertex has degree d.
+func (g *Graph) IsRegular(d int) bool {
+	for u := range g.adj {
+		if g.Degree(u) != d {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSimple reports whether the graph has no self-loops and no parallel
+// edges.
+func (g *Graph) IsSimple() bool {
+	seen := make(map[int32]bool)
+	for u := range g.adj {
+		clear(seen)
+		for _, w := range g.adj[u] {
+			if int(w) == u || seen[w] {
+				return false
+			}
+			seen[w] = true
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]int32, len(g.adj)), m: g.m}
+	for u, row := range g.adj {
+		c.adj[u] = append([]int32(nil), row...)
+	}
+	return c
+}
+
+// Validate checks internal consistency: every directed arc has a matching
+// reverse arc and all endpoints are in range. It returns nil for a
+// well-formed graph. Graphs built only through AddEdge are always valid;
+// Validate guards deserialized or hand-built graphs.
+func (g *Graph) Validate() error {
+	n := len(g.adj)
+	arcs := 0
+	type pair struct{ u, v int32 }
+	counts := make(map[pair]int)
+	for u, row := range g.adj {
+		for _, w := range row {
+			if w < 0 || int(w) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", u, w)
+			}
+			counts[pair{int32(u), w}]++
+			arcs++
+		}
+	}
+	for p, c := range counts {
+		if p.u == p.v {
+			continue // self-loop: single arc entry per AddEdge... see below
+		}
+		if counts[pair{p.v, p.u}] != c {
+			return fmt.Errorf("graph: asymmetric adjacency between %d and %d", p.u, p.v)
+		}
+	}
+	return nil
+}
+
+// Vertices returns 0..n-1; convenient for range-style iteration in tests
+// and examples.
+func (g *Graph) Vertices() []int {
+	out := make([]int, len(g.adj))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// EdgeList returns each undirected edge once as a (u,v) pair with u <= v,
+// sorted lexicographically. Parallel edges appear once per multiplicity.
+func (g *Graph) EdgeList() [][2]int {
+	edges := make([][2]int, 0, g.m)
+	for u, row := range g.adj {
+		loops := 0
+		for _, w := range row {
+			v := int(w)
+			switch {
+			case u < v:
+				edges = append(edges, [2]int{u, v})
+			case u == v:
+				// Each loop contributes two adjacency entries; emit once
+				// per pair of entries.
+				loops++
+				if loops%2 == 0 {
+					edges = append(edges, [2]int{u, u})
+				}
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	return edges
+}
+
+// InducedSubgraph returns the subgraph induced by the vertices where
+// keep[v] is true, along with old->new and new->old vertex index maps.
+// Edges with either endpoint dropped are removed; old->new is -1 for
+// dropped vertices.
+func (g *Graph) InducedSubgraph(keep []bool) (sub *Graph, oldToNew []int, newToOld []int) {
+	if len(keep) != len(g.adj) {
+		panic("graph: keep mask length mismatch")
+	}
+	oldToNew = make([]int, len(g.adj))
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	for v, k := range keep {
+		if k {
+			oldToNew[v] = len(newToOld)
+			newToOld = append(newToOld, v)
+		}
+	}
+	sub = New(len(newToOld))
+	for _, e := range g.EdgeList() {
+		if keep[e[0]] && keep[e[1]] {
+			sub.AddEdge(oldToNew[e[0]], oldToNew[e[1]])
+		}
+	}
+	return sub, oldToNew, newToOld
+}
+
+// ErrNotConnected is returned by operations requiring a connected graph.
+var ErrNotConnected = errors.New("graph: not connected")

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"byzcount/internal/xrand"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := xrand.New(40)
+	g, err := HND(50, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteEdgeList(&sb); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip: N %d->%d M %d->%d", g.N(), g2.N(), g.M(), g2.M())
+	}
+	e1, e2 := g.EdgeList(), g2.EdgeList()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestEdgeListRoundTripLoopsAndParallel(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	var sb strings.Builder
+	if err := g.WriteEdgeList(&sb); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != 3 || g2.Degree(0) != 4 {
+		t.Fatalf("loops/parallel lost: M=%d deg0=%d", g2.M(), g2.Degree(0))
+	}
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	in := "# a comment\nn 3\n\n0 1\n# another\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",             // empty
+		"x 3\n0 1\n",   // bad header
+		"n -1\n",       // negative count
+		"n 2\n0\n",     // short edge line
+		"n 2\n0 a\n",   // non-numeric
+		"n 2\n0 5\n",   // out of range
+		"0 1\nn 2\n",   // edge before header
+		"n two\n0 1\n", // bad count
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestSimpleRegular(t *testing.T) {
+	rng := xrand.New(41)
+	for _, tc := range []struct{ n, d int }{{64, 8}, {101, 4}, {32, 3}} {
+		g, err := SimpleRegular(tc.n, tc.d, 50, rng)
+		if err != nil {
+			t.Fatalf("SimpleRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		if !g.IsRegular(tc.d) {
+			t.Errorf("not %d-regular", tc.d)
+		}
+		if !g.IsSimple() {
+			t.Error("not simple")
+		}
+	}
+}
+
+func TestSimpleRegularErrors(t *testing.T) {
+	rng := xrand.New(42)
+	if _, err := SimpleRegular(4, 4, 10, rng); err == nil {
+		t.Error("d >= n accepted")
+	}
+	if _, err := SimpleRegular(5, 3, 10, rng); err == nil {
+		t.Error("odd n*d accepted")
+	}
+	if _, err := SimpleRegular(10, 3, 0, rng); err == nil {
+		t.Error("zero restarts accepted")
+	}
+}
+
+func TestSimpleRegularConnectedUsually(t *testing.T) {
+	// d >= 3 random regular graphs are connected whp.
+	rng := xrand.New(43)
+	connected := 0
+	for trial := 0; trial < 10; trial++ {
+		g, err := SimpleRegular(100, 4, 50, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.IsConnected() {
+			connected++
+		}
+	}
+	if connected < 9 {
+		t.Errorf("only %d/10 connected", connected)
+	}
+}
+
+func TestSimpleRegularHighDegree(t *testing.T) {
+	// The regime where rejection sampling fails: d=8 must work here.
+	rng := xrand.New(44)
+	g, err := SimpleRegular(256, 8, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsRegular(8) || !g.IsSimple() {
+		t.Error("SimpleRegular(256,8) malformed")
+	}
+}

@@ -1,0 +1,106 @@
+package graph
+
+import "math"
+
+// TreeLikeRadius returns the radius r = log(n) / (10 * log(d)) from
+// Section 3.1 at which the locally-tree-like property is evaluated in an
+// H(n,d) graph, never less than 1.
+func TreeLikeRadius(n, d int) int {
+	if n < 2 || d < 2 {
+		return 1
+	}
+	r := int(math.Log(float64(n)) / (10 * math.Log(float64(d))))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// IsLocallyTreeLike reports whether vertex w is locally tree-like at
+// radius r per Definition 3: the subgraph induced by B(w,r) is a tree in
+// which every vertex at depth < r is "typical" — it has exactly one
+// neighbor in the previous layer and d-1 neighbors in the next layer
+// (the root has d children). Equivalently: BFS to depth r discovers every
+// edge exactly once, encounters no cross, back, or parallel edges, and
+// every vertex strictly inside the ball has full degree d.
+func (g *Graph) IsLocallyTreeLike(w, r, d int) bool {
+	g.check(w)
+	if r < 1 {
+		return true
+	}
+	depth := map[int32]int{int32(w): 0}
+	queue := []int32{int32(w)}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := depth[u]
+		if du == r {
+			// Boundary layer: edges leaving the ball are unconstrained, but
+			// the induced subgraph must still be a tree, so a boundary node
+			// may touch the ball only through its single parent edge.
+			parents := 0
+			for _, v := range g.adj[u] {
+				dv, seen := depth[v]
+				if !seen {
+					continue // outside the ball
+				}
+				if dv != du-1 {
+					return false // same-layer or self edge inside the ball
+				}
+				parents++
+			}
+			if parents != 1 {
+				return false // parallel parent edges or an orphan
+			}
+			continue
+		}
+		// Interior vertex: must have exactly d incident edge endpoints.
+		if len(g.adj[u]) != d {
+			return false
+		}
+		parents := 0
+		for _, v := range g.adj[u] {
+			dv, seen := depth[v]
+			switch {
+			case !seen:
+				depth[v] = du + 1
+				queue = append(queue, v)
+			case dv == du-1:
+				parents++
+				if parents > 1 {
+					return false // two parents: a cycle through the previous layer
+				}
+			default:
+				// Same-layer, parallel, or self edge: not tree-like.
+				return false
+			}
+		}
+		if u != int32(w) && parents != 1 {
+			return false
+		}
+		if u == int32(w) && parents != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TreeLikeCount returns how many vertices of g are locally tree-like at
+// radius r for degree parameter d (Lemma 2 predicts n - O(n^0.8) whp in
+// H(n,d)).
+func (g *Graph) TreeLikeCount(r, d int) int {
+	count := 0
+	for w := range g.adj {
+		if g.IsLocallyTreeLike(w, r, d) {
+			count++
+		}
+	}
+	return count
+}
+
+// TreeLikeFraction returns the fraction of locally tree-like vertices.
+func (g *Graph) TreeLikeFraction(r, d int) float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return float64(g.TreeLikeCount(r, d)) / float64(len(g.adj))
+}

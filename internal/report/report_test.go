@@ -1,0 +1,112 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVBasic(t *testing.T) {
+	got := CSV([]string{"a", "b"}, [][]string{{"1", "2"}, {"x,y", `q"t`}})
+	want := "a,b\n1,2\n\"x,y\",\"q\"\"t\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestCSVNewlineQuoting(t *testing.T) {
+	got := CSV([]string{"h"}, [][]string{{"line1\nline2"}})
+	if !strings.Contains(got, "\"line1\nline2\"") {
+		t.Errorf("newline cell not quoted: %q", got)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"aa", "b"}, []float64{10, 5}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.Contains(lines[0], strings.Repeat("#", 20)) {
+		t.Errorf("max bar not full width: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Errorf("half bar wrong: %q", lines[1])
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Errorf("half bar length: %q", lines[1])
+	}
+}
+
+func TestBarsEdgeCases(t *testing.T) {
+	out := Bars([]string{"neg", "nan", "zero"}, []float64{-1, math.NaN(), 0}, 5)
+	if strings.Contains(out, "#") {
+		t.Errorf("degenerate values produced bars: %q", out)
+	}
+}
+
+func TestBarsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Bars did not panic")
+		}
+	}()
+	Bars([]string{"a"}, []float64{1, 2}, 10)
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline")
+	}
+	s := []rune(Sparkline([]float64{0, 1, 2, 4}))
+	if len(s) != 4 {
+		t.Fatalf("length %d", len(s))
+	}
+	if s[3] != '█' {
+		t.Errorf("max should be full block, got %q", s[3])
+	}
+	if s[0] != '▁' {
+		t.Errorf("zero should be lowest block, got %q", s[0])
+	}
+	// Monotone input -> monotone blocks.
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Errorf("sparkline not monotone: %q", string(s))
+		}
+	}
+}
+
+func TestSparklineAllZero(t *testing.T) {
+	s := Sparkline([]float64{0, 0, 0})
+	if s != "▁▁▁" {
+		t.Errorf("all-zero sparkline = %q", s)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	in := []float64{1, 1, 3, 3, 5, 5}
+	out := Downsample(in, 3)
+	if len(out) != 3 || out[0] != 1 || out[1] != 3 || out[2] != 5 {
+		t.Errorf("Downsample = %v", out)
+	}
+	// No-op cases.
+	if got := Downsample(in, 10); len(got) != 6 {
+		t.Errorf("short input downsampled: %v", got)
+	}
+	if got := Downsample(in, 0); len(got) != 6 {
+		t.Errorf("zero buckets: %v", got)
+	}
+	// Copies, not aliases.
+	same := Downsample(in, 10)
+	same[0] = 99
+	if in[0] == 99 {
+		t.Error("Downsample aliased its input")
+	}
+}
+
+func TestInts(t *testing.T) {
+	got := Ints([]int64{1, 2})
+	if len(got) != 2 || got[1] != 2 {
+		t.Errorf("Ints = %v", got)
+	}
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+
+	"byzcount/internal/graph"
+)
+
+// bigPayload simulates a LOCAL-model topology dump.
+type bigPayload struct{ bits int }
+
+func (p bigPayload) SizeBits() int { return p.bits }
+
+// chattyProc sends count messages of size bits to one neighbor per round.
+type chattyProc struct {
+	bits, count int
+	received    int
+}
+
+func (c *chattyProc) Step(env *Env, round int, in []Incoming) []Outgoing {
+	c.received += len(in)
+	out := make([]Outgoing, 0, c.count)
+	for i := 0; i < c.count; i++ {
+		out = append(out, Outgoing{To: env.Neighbors[0], Payload: bigPayload{bits: c.bits}})
+	}
+	return out
+}
+func (c *chattyProc) Halted() bool { return false }
+
+func TestEdgeCapacityAdmitsSmallMessages(t *testing.T) {
+	g, err := graph.Path(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g, 1)
+	e.SetEdgeCapacity(512)
+	recv := &chattyProc{bits: 0, count: 0}
+	procs := []Proc{&chattyProc{bits: 400, count: 1}, recv}
+	if err := e.Attach(procs); err != nil {
+		t.Fatal(err)
+	}
+	e.SetStopCondition(func(r int) bool { return r >= 3 })
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.Capped != 0 {
+		t.Errorf("small messages capped: %d", m.Capped)
+	}
+	if recv.received == 0 {
+		t.Error("nothing delivered")
+	}
+}
+
+func TestEdgeCapacityDropsOversized(t *testing.T) {
+	g, err := graph.Path(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g, 1)
+	e.SetEdgeCapacity(512)
+	recv := &chattyProc{}
+	procs := []Proc{&chattyProc{bits: 4096, count: 1}, recv}
+	if err := e.Attach(procs); err != nil {
+		t.Fatal(err)
+	}
+	e.SetStopCondition(func(r int) bool { return r >= 3 })
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.Capped == 0 {
+		t.Error("oversized message not capped")
+	}
+	if recv.received != 0 {
+		t.Errorf("oversized message delivered %d times", recv.received)
+	}
+}
+
+func TestEdgeCapacityBudgetIsPerEdgePerRound(t *testing.T) {
+	g, err := graph.Path(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g, 1)
+	e.SetEdgeCapacity(512)
+	recv := &chattyProc{}
+	// Three 200-bit messages per round on one edge: two fit, one is capped.
+	procs := []Proc{&chattyProc{bits: 200, count: 3}, recv}
+	if err := e.Attach(procs); err != nil {
+		t.Fatal(err)
+	}
+	e.SetStopCondition(func(r int) bool { return r >= 4 })
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.Capped == 0 {
+		t.Fatal("no capping with 600 > 512 bits per round")
+	}
+	// Each sending round: 2 delivered (one round later), 1 capped. The
+	// run executes rounds 0..4, so sends from rounds 0..3 are delivered.
+	if recv.received != 8 {
+		t.Errorf("received %d messages, want 8 (2 per sending round x 4 delivered rounds)", recv.received)
+	}
+	if m.Capped != 5 {
+		t.Errorf("capped %d, want 5 (1 per sending round x 5 rounds)", m.Capped)
+	}
+}
+
+func TestEdgeCapacityZeroMeansLocalModel(t *testing.T) {
+	g, err := graph.Path(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g, 1)
+	recv := &chattyProc{}
+	procs := []Proc{&chattyProc{bits: 1 << 20, count: 4}, recv}
+	if err := e.Attach(procs); err != nil {
+		t.Fatal(err)
+	}
+	e.SetStopCondition(func(r int) bool { return r >= 2 })
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if e.Metrics().Capped != 0 {
+		t.Error("LOCAL model capped messages")
+	}
+	if recv.received == 0 {
+		t.Error("nothing delivered")
+	}
+}

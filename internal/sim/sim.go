@@ -1,0 +1,303 @@
+// Package sim implements the synchronous message-passing model of
+// Section 2 of the paper: computation proceeds in rounds, a message sent
+// over an edge in round r is delivered at the start of round r+1, local
+// computation is free, and the engine stamps the true sender on every
+// message so that Byzantine nodes cannot fake their IDs.
+//
+// The engine is single-threaded and deterministic: identical seeds and
+// processes produce identical executions, which makes every experiment
+// row reproducible.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"byzcount/internal/graph"
+	"byzcount/internal/xrand"
+)
+
+// NodeID is a node identifier drawn uniformly from the full 64-bit space.
+// Per the model, IDs are comparable black boxes that leak no information
+// about the network size.
+type NodeID uint64
+
+// Payload is the interface satisfied by all message payloads. SizeBits
+// reports the payload's size for the message-size metrics that distinguish
+// the CONGEST-style algorithm (small messages) from the LOCAL one.
+type Payload interface {
+	SizeBits() int
+}
+
+// Incoming is a delivered message. From is the true sender vertex and
+// FromID its true ID — both stamped by the engine, never by the sender.
+type Incoming struct {
+	From    int
+	FromID  NodeID
+	Payload Payload
+}
+
+// Outgoing is a message to send. To must be a neighbor of the sender in
+// the network graph; messages addressed elsewhere are dropped and counted
+// as violations.
+type Outgoing struct {
+	To      int
+	Payload Payload
+}
+
+// Env carries the static, strictly local knowledge a process is allowed:
+// its vertex index (for the engine's bookkeeping only — protocols must not
+// infer anything from it), its random ID, its degree, its neighbor list,
+// and a private random stream.
+type Env struct {
+	Vertex    int
+	ID        NodeID
+	Degree    int
+	Neighbors []int
+	// NeighborIDs[k] is the ID of Neighbors[k]. The paper's Algorithm 1
+	// starts from the inclusive 1-hop neighborhood B(u,1), so knowledge of
+	// neighbor IDs is part of the model.
+	NeighborIDs []NodeID
+	Rand        *xrand.Rand
+}
+
+// Broadcast returns one Outgoing per incident edge carrying payload.
+// With parallel edges a neighbor receives one copy per edge, matching the
+// model where each edge is an independent channel.
+func (e *Env) Broadcast(payload Payload) []Outgoing {
+	out := make([]Outgoing, len(e.Neighbors))
+	for i, w := range e.Neighbors {
+		out[i] = Outgoing{To: w, Payload: payload}
+	}
+	return out
+}
+
+// Proc is a per-node process. Step is invoked exactly once per round with
+// the messages delivered this round and returns the messages to send.
+// Halted processes are skipped (they neither receive nor send); once
+// Halted returns true it must remain true.
+type Proc interface {
+	Step(env *Env, round int, in []Incoming) []Outgoing
+	Halted() bool
+}
+
+// Metrics aggregates message-level measurements across a run.
+type Metrics struct {
+	Rounds        int   // rounds executed
+	Messages      int64 // messages delivered
+	Bits          int64 // total payload bits delivered
+	MaxMsgBits    int   // largest single payload
+	Violations    int64 // messages addressed to non-neighbors (dropped)
+	Capped        int64 // messages dropped by the CONGEST edge capacity
+	PerNodeMaxBit []int // per-vertex largest payload sent
+	// MessagesByRound[r] is the number of messages sent in round r — the
+	// per-round traffic series that makes Algorithm 2's phase structure
+	// visible (see report.Sparkline).
+	MessagesByRound []int64
+}
+
+// Engine drives a set of processes over a network graph in lock-step
+// rounds.
+type Engine struct {
+	g     *graph.Graph
+	procs []Proc
+	envs  []Env
+	ids   []NodeID
+
+	// stop, if non-nil, is evaluated after every round; returning true
+	// ends the run early (used for "all honest nodes decided" detection).
+	stop func(round int) bool
+
+	// edgeCapBits, when positive, enforces the CONGEST model's bandwidth
+	// restriction: a sender may push at most this many payload bits over
+	// one edge per round; excess messages on that edge are dropped and
+	// counted in Metrics.Capped. Zero means the LOCAL model (unbounded).
+	edgeCapBits int
+	// edgeBudget[v] tracks per-destination bits used by v this round.
+	edgeBudget map[int]int
+
+	metrics Metrics
+
+	// double-buffered inboxes, indexed by vertex
+	cur, next [][]Incoming
+
+	// isNeighbor caches adjacency for O(1) destination checks
+	neighborSet []map[int]bool
+}
+
+// ErrSizeMismatch is returned when the number of attached processes does
+// not equal the number of graph vertices.
+var ErrSizeMismatch = errors.New("sim: process count does not match vertex count")
+
+// NewEngine creates an engine over g. Node IDs and per-node random streams
+// derive from seed; vertex v's stream is independent of all others.
+func NewEngine(g *graph.Graph, seed uint64) *Engine {
+	n := g.N()
+	root := xrand.New(seed)
+	idStream := root.Split("ids")
+	e := &Engine{
+		g:           g,
+		envs:        make([]Env, n),
+		ids:         make([]NodeID, n),
+		cur:         make([][]Incoming, n),
+		next:        make([][]Incoming, n),
+		neighborSet: make([]map[int]bool, n),
+	}
+	e.metrics.PerNodeMaxBit = make([]int, n)
+	seen := make(map[NodeID]bool, n)
+	for v := 0; v < n; v++ {
+		id := NodeID(idStream.ID())
+		for seen[id] {
+			id = NodeID(idStream.ID())
+		}
+		seen[id] = true
+		e.ids[v] = id
+	}
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(v)
+		set := make(map[int]bool, len(nbrs))
+		nbrIDs := make([]NodeID, len(nbrs))
+		for k, w := range nbrs {
+			set[w] = true
+			nbrIDs[k] = e.ids[w]
+		}
+		e.neighborSet[v] = set
+		e.envs[v] = Env{
+			Vertex:      v,
+			ID:          e.ids[v],
+			Degree:      g.Degree(v),
+			Neighbors:   nbrs,
+			NeighborIDs: nbrIDs,
+			Rand:        root.SplitN("node", v),
+		}
+	}
+	return e
+}
+
+// Attach installs one process per vertex. It must be called before Run.
+func (e *Engine) Attach(procs []Proc) error {
+	if len(procs) != e.g.N() {
+		return fmt.Errorf("%w: %d processes for %d vertices", ErrSizeMismatch, len(procs), e.g.N())
+	}
+	e.procs = procs
+	return nil
+}
+
+// SetStopCondition installs a predicate evaluated after each round; the
+// run ends early once it returns true.
+func (e *Engine) SetStopCondition(stop func(round int) bool) { e.stop = stop }
+
+// SetEdgeCapacity switches the engine from the LOCAL model (unbounded
+// messages, the default) to the CONGEST model: at most bits payload bits
+// per edge per round per sender. Messages beyond the budget are dropped
+// and counted in Metrics.Capped. A "small-sized message" in the paper is
+// O(log n) bits plus a constant number of node IDs; a cap of a few
+// hundred bits admits Algorithm 2's beacons while rejecting Algorithm 1's
+// topology dumps.
+func (e *Engine) SetEdgeCapacity(bits int) {
+	e.edgeCapBits = bits
+	if bits > 0 && e.edgeBudget == nil {
+		e.edgeBudget = make(map[int]int)
+	}
+}
+
+// Graph returns the underlying network graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// ID returns the node ID of vertex v.
+func (e *Engine) ID(v int) NodeID { return e.ids[v] }
+
+// VertexOf returns the vertex with the given ID, or -1.
+func (e *Engine) VertexOf(id NodeID) int {
+	for v, x := range e.ids {
+		if x == id {
+			return v
+		}
+	}
+	return -1
+}
+
+// Proc returns the process attached to vertex v (nil before Attach).
+func (e *Engine) Proc(v int) Proc {
+	if e.procs == nil {
+		return nil
+	}
+	return e.procs[v]
+}
+
+// Env returns the environment of vertex v (engine-owned; do not mutate).
+func (e *Engine) Env(v int) *Env { return &e.envs[v] }
+
+// Metrics returns the measurements accumulated so far.
+func (e *Engine) Metrics() Metrics { return e.metrics }
+
+// Run executes up to maxRounds rounds and returns the number of rounds
+// executed. The run ends early when every process has halted or the stop
+// condition fires. Attach must have been called.
+func (e *Engine) Run(maxRounds int) (int, error) {
+	if e.procs == nil {
+		return 0, errors.New("sim: Run called before Attach")
+	}
+	if maxRounds < 0 {
+		return 0, errors.New("sim: negative maxRounds")
+	}
+	n := e.g.N()
+	for r := 0; r < maxRounds; r++ {
+		allHalted := true
+		roundStartMsgs := e.metrics.Messages
+		for v := 0; v < n; v++ {
+			p := e.procs[v]
+			if p.Halted() {
+				e.cur[v] = e.cur[v][:0]
+				continue
+			}
+			allHalted = false
+			out := p.Step(&e.envs[v], r, e.cur[v])
+			e.cur[v] = e.cur[v][:0]
+			if e.edgeCapBits > 0 {
+				clear(e.edgeBudget)
+			}
+			for _, msg := range out {
+				if !e.neighborSet[v][msg.To] {
+					e.metrics.Violations++
+					continue
+				}
+				bits := 0
+				if msg.Payload != nil {
+					bits = msg.Payload.SizeBits()
+				}
+				if e.edgeCapBits > 0 {
+					if e.edgeBudget[msg.To]+bits > e.edgeCapBits {
+						e.metrics.Capped++
+						continue
+					}
+					e.edgeBudget[msg.To] += bits
+				}
+				e.metrics.Messages++
+				e.metrics.Bits += int64(bits)
+				if bits > e.metrics.MaxMsgBits {
+					e.metrics.MaxMsgBits = bits
+				}
+				if bits > e.metrics.PerNodeMaxBit[v] {
+					e.metrics.PerNodeMaxBit[v] = bits
+				}
+				e.next[msg.To] = append(e.next[msg.To], Incoming{
+					From:    v,
+					FromID:  e.ids[v],
+					Payload: msg.Payload,
+				})
+			}
+		}
+		e.metrics.Rounds++
+		e.metrics.MessagesByRound = append(e.metrics.MessagesByRound,
+			e.metrics.Messages-roundStartMsgs)
+		e.cur, e.next = e.next, e.cur
+		if allHalted {
+			return r, nil
+		}
+		if e.stop != nil && e.stop(r) {
+			return r + 1, nil
+		}
+	}
+	return maxRounds, nil
+}

@@ -1,0 +1,306 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: streams diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a1 := root.Split("graph")
+	// Consuming from one split must not perturb a sibling split.
+	for i := 0; i < 57; i++ {
+		a1.Uint64()
+	}
+	b1 := root.Split("coins")
+	root2 := New(7)
+	b2 := root2.Split("coins")
+	for i := 0; i < 100; i++ {
+		if b1.Uint64() != b2.Uint64() {
+			t.Fatalf("split stream affected by sibling consumption at draw %d", i)
+		}
+	}
+}
+
+func TestSplitLabelsDistinct(t *testing.T) {
+	root := New(7)
+	a := root.Split("alpha")
+	b := root.Split("beta")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct labels produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitNDistinct(t *testing.T) {
+	root := New(3)
+	a := root.SplitN("trial", 0)
+	b := root.SplitN("trial", 1)
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("SplitN indices 0 and 1 produced identical streams")
+	}
+}
+
+func TestBernoulliEdgeCases(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(99)
+	const trials = 20000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if math.Abs(got-p) > 0.02 {
+			t.Errorf("Bernoulli(%g): observed frequency %g", p, got)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(5)
+	const trials = 20000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += r.Geometric()
+	}
+	mean := float64(sum) / trials
+	// E[Geometric(1/2)] = 2.
+	if mean < 1.9 || mean > 2.1 {
+		t.Fatalf("Geometric mean = %g, want ~2", mean)
+	}
+}
+
+func TestGeometricSupport(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		if g := r.Geometric(); g < 1 {
+			t.Fatalf("Geometric returned %d < 1", g)
+		}
+	}
+}
+
+func TestGeometricPMean(t *testing.T) {
+	r := New(6)
+	const trials = 40000
+	for _, p := range []float64{0.25, 0.5, 0.8} {
+		sum := 0
+		for i := 0; i < trials; i++ {
+			sum += r.GeometricP(p)
+		}
+		mean := float64(sum) / trials
+		want := 1 / p
+		if math.Abs(mean-want)/want > 0.05 {
+			t.Errorf("GeometricP(%g) mean = %g, want ~%g", p, mean, want)
+		}
+	}
+}
+
+func TestGeometricPOne(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 100; i++ {
+		if g := r.GeometricP(1); g != 1 {
+			t.Fatalf("GeometricP(1) = %d, want 1", g)
+		}
+	}
+}
+
+func TestGeometricPPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeometricP(0) did not panic")
+		}
+	}()
+	New(1).GeometricP(0)
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(8)
+	const trials = 40000
+	for _, lambda := range []float64{0.5, 1, 4} {
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			sum += r.Exponential(lambda)
+		}
+		mean := sum / trials
+		want := 1 / lambda
+		if math.Abs(mean-want)/want > 0.05 {
+			t.Errorf("Exponential(%g) mean = %g, want ~%g", lambda, mean, want)
+		}
+	}
+}
+
+func TestExponentialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exponential(0) did not panic")
+		}
+	}()
+	New(1).Exponential(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleProperties(t *testing.T) {
+	r := New(13)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		k := int(kRaw) % (n + 1)
+		s := r.Sample(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleFull(t *testing.T) {
+	r := New(17)
+	s := r.Sample(10, 10)
+	seen := make([]bool, 10)
+	for _, v := range s {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("Sample(10,10) missing %d: %v", i, s)
+		}
+	}
+}
+
+func TestSamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(3,4) did not panic")
+		}
+	}()
+	New(1).Sample(3, 4)
+}
+
+func TestSampleUniformity(t *testing.T) {
+	r := New(19)
+	counts := make([]int, 5)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		for _, v := range r.Sample(5, 2) {
+			counts[v]++
+		}
+	}
+	// Each element should appear with probability 2/5.
+	want := float64(trials) * 2 / 5
+	for i, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Errorf("element %d chosen %d times, want ~%g", i, c, want)
+		}
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	r := New(23)
+	seen := make(map[uint64]bool, 10000)
+	for i := 0; i < 10000; i++ {
+		id := r.ID()
+		if seen[id] {
+			t.Fatalf("duplicate 64-bit ID after %d draws", i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 1: "1", -1: "-1", 12345: "12345", -987: "-987"}
+	for n, want := range cases {
+		if got := itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestMixAvalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	for bit := 0; bit < 64; bit += 7 {
+		a := mix(12345)
+		b := mix(12345 ^ (1 << uint(bit)))
+		diff := 0
+		for x := a ^ b; x != 0; x &= x - 1 {
+			diff++
+		}
+		if diff < 10 {
+			t.Errorf("bit %d: only %d output bits changed", bit, diff)
+		}
+	}
+}
