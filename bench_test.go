@@ -10,6 +10,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"byzcount/internal/counting"
@@ -21,8 +22,13 @@ import (
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	benchExperimentCfg(b, id, 1)
+}
+
+func benchExperimentCfg(b *testing.B, id string, parallel int) {
+	b.Helper()
 	for i := 0; i < b.N; i++ {
-		cfg := expt.Config{Seed: uint64(42 + i), Trials: 1, Quick: true}
+		cfg := expt.Config{Seed: uint64(42 + i), Trials: 1, Quick: true, Parallel: parallel}
 		tbl, err := expt.Run(id, cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -50,6 +56,39 @@ func BenchmarkE12(b *testing.B) { benchExperiment(b, "E12") } // placement sensi
 func BenchmarkE13(b *testing.B) { benchExperiment(b, "E13") } // crash-fault churn (extension)
 func BenchmarkE14(b *testing.B) { benchExperiment(b, "E14") } // topology sensitivity (extension)
 func BenchmarkE15(b *testing.B) { benchExperiment(b, "E15") } // join/leave churn (extension)
+
+// Driver-level parallel benchmarks: the same table regenerated through
+// the sweep driver with all (row, trial) cells running concurrently.
+// Tables are byte-identical to the serial variants; only wall-clock
+// changes. Trials=3 gives the driver enough cells per row to spread.
+
+func benchExperimentParallel(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := expt.Config{Seed: uint64(42 + i), Trials: 3, Quick: true,
+			Parallel: runtime.GOMAXPROCS(0)}
+		if _, err := expt.Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchExperimentSerial3(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := expt.Config{Seed: uint64(42 + i), Trials: 3, Quick: true, Parallel: 1}
+		if _, err := expt.Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1DriverSerial(b *testing.B)   { benchExperimentSerial3(b, "E1") }
+func BenchmarkE1DriverParallel(b *testing.B) { benchExperimentParallel(b, "E1") }
+func BenchmarkE3DriverSerial(b *testing.B)   { benchExperimentSerial3(b, "E3") }
+func BenchmarkE3DriverParallel(b *testing.B) { benchExperimentParallel(b, "E3") }
+func BenchmarkE9DriverSerial(b *testing.B)   { benchExperimentSerial3(b, "E9") }
+func BenchmarkE9DriverParallel(b *testing.B) { benchExperimentParallel(b, "E9") }
 
 // Substrate micro-benchmarks.
 
@@ -107,13 +146,14 @@ func (f *floodBenchProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.
 }
 func (f *floodBenchProc) Halted() bool { return false }
 
-func BenchmarkEngineRoundThroughput(b *testing.B) {
+func benchEngineRoundThroughput(b *testing.B, workers int) {
 	rng := xrand.New(4)
 	g, err := graph.HND(1024, 8, rng)
 	if err != nil {
 		b.Fatal(err)
 	}
 	eng := sim.NewEngine(g, 5)
+	eng.SetParallelism(workers)
 	procs := make([]sim.Proc, g.N())
 	for v := range procs {
 		procs[v] = &floodBenchProc{}
@@ -130,7 +170,31 @@ func BenchmarkEngineRoundThroughput(b *testing.B) {
 	msgs := eng.Metrics().Messages
 	if b.N > 0 {
 		b.ReportMetric(float64(msgs)/float64(b.N), "msgs/round")
+		elapsed := b.Elapsed().Seconds()
+		if elapsed > 0 {
+			b.ReportMetric(float64(msgs)/elapsed/1e6, "Mmsgs/sec")
+		}
 	}
+}
+
+func BenchmarkEngineRoundThroughput(b *testing.B) {
+	benchEngineRoundThroughput(b, 1)
+}
+
+// BenchmarkEngineRoundThroughputParallel shards Step calls across
+// GOMAXPROCS workers. The execution (and the msgs/round metric) is
+// bit-identical to the serial benchmark; Mmsgs/sec measures the
+// speedup. On a single-core runner this degenerates to the serial
+// engine plus goroutine overhead — compare the two only on multi-core.
+func BenchmarkEngineRoundThroughputParallel(b *testing.B) {
+	benchEngineRoundThroughput(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkEngineRoundThroughputParallel8 pins 8 workers regardless of
+// GOMAXPROCS, so shard/merge overhead is measurable even on small
+// machines.
+func BenchmarkEngineRoundThroughputParallel8(b *testing.B) {
+	benchEngineRoundThroughput(b, 8)
 }
 
 func BenchmarkCongestBenignRun(b *testing.B) {

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"byzcount/internal/byzantine"
 	"byzcount/internal/counting"
@@ -68,9 +69,10 @@ func usage() {
   byzcount all [flags]                  run every experiment
   byzcount run [flags]                  run a single protocol instance
   byzcount graph [flags]                generate a substrate and print its statistics
-flags for expt/all: -seed N  -trials N  -quick
+flags for expt/all: -seed N  -trials N  -quick  -parallel N
 flags for run:      -proto congest|local|geometric|support  -n N  -d D
-                    -byz B  -attack spam|silent|fake  -seed N
+                    -byz B  -attack spam|silent|fake  -seed N  -parallel N
+(-parallel defaults to GOMAXPROCS; outputs are identical for every value)
 flags for graph:    -kind hnd|regular|smallworld|ring|torus|dumbbell  -n N  -d D
                     -seed N  -out FILE`)
 }
@@ -81,6 +83,8 @@ func exptCmd(args []string, all bool) error {
 	trials := fs.Int("trials", 3, "trials per row")
 	quick := fs.Bool("quick", false, "shrunken sweeps")
 	format := fs.String("format", "table", "output format: table|csv")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"max concurrent (row, trial) cells; tables are identical for every value")
 	var id string
 	rest := args
 	if !all {
@@ -93,7 +97,7 @@ func exptCmd(args []string, all bool) error {
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
-	cfg := expt.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	cfg := expt.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *parallel}
 	ids := []string{id}
 	if all {
 		ids = expt.IDs()
@@ -183,6 +187,8 @@ func runCmd(args []string) error {
 	byzN := fs.Int("byz", 0, "number of Byzantine nodes")
 	attack := fs.String("attack", "spam", "attack: spam|silent|fake")
 	seed := fs.Uint64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"engine step-shard workers; runs are identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -202,6 +208,7 @@ func runCmd(args []string) error {
 	}
 
 	eng := sim.NewEngine(g, rng.Split("engine").Uint64())
+	eng.SetParallelism(*parallel)
 	procs := make([]sim.Proc, g.N())
 	var maxRounds int
 

@@ -1,0 +1,3 @@
+module byzcount
+
+go 1.24

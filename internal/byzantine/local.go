@@ -200,6 +200,12 @@ type FakeNetworkLocal struct {
 }
 
 var _ sim.Proc = (*FakeNetworkLocal)(nil)
+var _ sim.Sequential = (*FakeNetworkLocal)(nil)
+
+// StepsSequentially marks this adversary for the engine's sequential
+// pass: all attached nodes mutate one shared FakeWorld, and the
+// round-robin attachment order is part of the deterministic execution.
+func (f *FakeNetworkLocal) StepsSequentially() {}
 
 // NewFakeNetworkLocal returns a fake-network adversary bound to the
 // shared world, claiming `edges` attachment edges (clamped to >= 1).

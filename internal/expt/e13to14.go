@@ -28,38 +28,51 @@ func E13(cfg Config) (*Table, error) {
 		n = 128
 	}
 	root := xrand.New(cfg.Seed)
-	for _, crashFrac := range []float64{0, 0.05, 0.10, 0.20} {
-		crashers := int(crashFrac * float64(n))
-		var decided, bounded, meanEsts []float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			rng := root.SplitN(fmt.Sprintf("e13-%.2f", crashFrac), trial)
+	crashFracs := []float64{0, 0.05, 0.10, 0.20}
+	type res struct {
+		decided, bounded, meanEst float64
+	}
+	results, err := sweepRows(cfg, root, crashFracs,
+		func(crashFrac float64) string { return fmt.Sprintf("e13-%.2f", crashFrac) },
+		func(crashFrac float64, trial int, rng *xrand.Rand) (res, error) {
+			crashers := int(crashFrac * float64(n))
 			g, err := hnd(n, d, rng.Split("graph"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			mask, err := byzantine.RandomPlacement(g, crashers, rng.Split("place"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			params := counting.DefaultCongestParams(d)
 			params.MaxPhase = 9
 			when := rng.Split("when")
-			res, err := runProtocol(g, mask, rng.Split("run").Uint64(),
+			r, err := runProtocol(g, mask, rng.Split("run").Uint64(),
 				func(v int, eng *sim.Engine) sim.Proc { return counting.NewCongestProc(params) },
 				func(v int, eng *sim.Engine) sim.Proc {
 					return byzantine.NewCrash(counting.NewCongestProc(params), 20+when.SplitN("c", v).Intn(200))
 				},
 				congestMaxRounds(params), true)
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
-			decided = append(decided, counting.DecidedFraction(res.outcomes, res.honest))
 			logd := counting.LogD(n, d)
-			bounded = append(bounded,
-				counting.FractionWithinFactor(res.outcomes, res.honest, 0.5*logd, 2*logd+2))
-			meanEsts = append(meanEsts, meanEstimate(res))
-		}
-		t.AddRow(crashFrac, stats.Mean(decided), stats.Mean(bounded), stats.Mean(meanEsts))
+			return res{
+				decided: counting.DecidedFraction(r.outcomes, r.honest),
+				bounded: counting.FractionWithinFactor(r.outcomes, r.honest,
+					0.5*logd, 2*logd+2),
+				meanEst: meanEstimate(r),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, crashFrac := range crashFracs {
+		rs := results[i]
+		t.AddRow(crashFrac,
+			stats.Mean(column(rs, func(r res) float64 { return r.decided })),
+			stats.Mean(column(rs, func(r res) float64 { return r.bounded })),
+			stats.Mean(column(rs, func(r res) float64 { return r.meanEst })))
 	}
 	t.Notes = append(t.Notes,
 		"crashed nodes are excluded from the honest metrics; decided/bounded fractions are over surviving correct nodes")
@@ -108,30 +121,44 @@ func E14(cfg Config) (*Table, error) {
 			return g, 2, err
 		}},
 	}
-	for _, tp := range topos {
-		hist := stats.NewHistogram()
-		var hEst []float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			rng := root.SplitN("e14-"+tp.name, trial)
+	type res struct {
+		hEst float64
+		ests []int
+	}
+	results, err := sweepRows(cfg, root, topos,
+		func(tp topo) string { return "e14-" + tp.name },
+		func(tp topo, trial int, rng *xrand.Rand) (res, error) {
 			g, d, err := tp.gen(rng.Split("graph"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
-			hEst = append(hEst, g.EstimateVertexExpansion(8, rng.Split("sweep")))
+			out := res{hEst: g.EstimateVertexExpansion(8, rng.Split("sweep"))}
 			params := counting.DefaultCongestParams(d)
 			params.MaxPhase = 12
-			res, err := runProtocol(g, nil, rng.Split("run").Uint64(),
+			r, err := runProtocol(g, nil, rng.Split("run").Uint64(),
 				func(v int, eng *sim.Engine) sim.Proc { return counting.NewCongestProc(params) },
 				nil2byz, congestMaxRounds(params), true)
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
-			for _, e := range counting.DecidedEstimates(res.outcomes, res.honest) {
+			out.ests = counting.DecidedEstimates(r.outcomes, r.honest)
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, tp := range topos {
+		rs := results[i]
+		hist := stats.NewHistogram()
+		for _, r := range rs {
+			for _, e := range r.ests {
 				hist.Add(e)
 			}
 		}
 		mode, _ := hist.Mode()
-		t.AddRow(tp.name, stats.Mean(hEst), mode, hist.Fraction(mode-1, mode+1), counting.Log2(n))
+		t.AddRow(tp.name,
+			stats.Mean(column(rs, func(r res) float64 { return r.hEst })),
+			mode, hist.Fraction(mode-1, mode+1), counting.Log2(n))
 	}
 	t.Notes = append(t.Notes,
 		"each topology's mode tracks log_d(n) for its own degree d (ring d=2 -> ~log2 n): BENIGN counting does not need expansion",

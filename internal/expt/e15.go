@@ -29,15 +29,17 @@ func E15(cfg Config) (*Table, error) {
 		n = 128
 	}
 	root := xrand.New(cfg.Seed)
-	for _, perRound := range []int{0, 1, 2, 4} {
-		var decided, bounded []float64
-		hist := stats.NewHistogram()
-		turnover := 0.0
-		for trial := 0; trial < cfg.trials(); trial++ {
-			rng := root.SplitN(fmt.Sprintf("e15-%d", perRound), trial)
+	perRounds := []int{0, 1, 2, 4}
+	type res struct {
+		turnover, decided, bounded float64
+		ests                       []int
+	}
+	results, err := sweepRows(cfg, root, perRounds,
+		func(perRound int) string { return fmt.Sprintf("e15-%d", perRound) },
+		func(perRound, trial int, rng *xrand.Rand) (res, error) {
 			net, err := dynamic.NewNetwork(n, d, rng.Split("net"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			params := counting.DefaultCongestParams(d)
 			params.MaxPhase = 8
@@ -47,9 +49,9 @@ func E15(cfg Config) (*Table, error) {
 					return counting.NewCongestProc(params)
 				})
 			if _, err := eng.Run(params.Schedule.RoundsThroughPhase(params.MaxPhase + 1)); err != nil {
-				return nil, err
+				return res{}, err
 			}
-			turnover += float64(eng.Left()) / float64(n)
+			out := res{turnover: float64(eng.Left()) / float64(n)}
 			procs, _ := eng.AliveProcs()
 			dec, bnd := 0, 0
 			logd := counting.LogD(n, d)
@@ -59,17 +61,33 @@ func E15(cfg Config) (*Table, error) {
 					continue
 				}
 				dec++
-				hist.Add(o.Estimate)
+				out.ests = append(out.ests, o.Estimate)
 				if float64(o.Estimate) >= 0.5*logd && float64(o.Estimate) <= 2*logd+2 {
 					bnd++
 				}
 			}
-			decided = append(decided, float64(dec)/float64(len(procs)))
-			bounded = append(bounded, float64(bnd)/float64(len(procs)))
+			out.decided = float64(dec) / float64(len(procs))
+			out.bounded = float64(bnd) / float64(len(procs))
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, perRound := range perRounds {
+		rs := results[i]
+		hist := stats.NewHistogram()
+		turnover := 0.0
+		for _, r := range rs {
+			turnover += r.turnover
+			for _, e := range r.ests {
+				hist.Add(e)
+			}
 		}
 		mode, _ := hist.Mode()
 		t.AddRow(perRound, turnover/float64(cfg.trials()),
-			stats.Mean(decided), stats.Mean(bounded), mode)
+			stats.Mean(column(rs, func(r res) float64 { return r.decided })),
+			stats.Mean(column(rs, func(r res) float64 { return r.bounded })),
+			mode)
 	}
 	t.Notes = append(t.Notes,
 		"turnover = departures / initial n during the churn window; churn stops at round 150 so the protocol can quiesce",

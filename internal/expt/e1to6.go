@@ -26,53 +26,66 @@ func E1(cfg Config) (*Table, error) {
 	const d = 8
 	delta := d + 2
 	root := xrand.New(cfg.Seed)
-	for _, n := range nSweep(cfg, []int{64, 128, 256, 512}, []int{64, 128}) {
-		var benignMeans, attackMeans, boundedFracs, roundss, diams []float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			rng := root.SplitN(fmt.Sprintf("e1-n%d", n), trial)
+	ns := nSweep(cfg, []int{64, 128, 256, 512}, []int{64, 128})
+	type res struct {
+		diam, benignMean, attackMean, boundedFrac, rounds float64
+	}
+	results, err := sweepRows(cfg, root, ns,
+		func(n int) string { return fmt.Sprintf("e1-n%d", n) },
+		func(n, trial int, rng *xrand.Rand) (res, error) {
 			g, err := hnd(n, d, rng.Split("graph"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			diam, err := g.Diameter()
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
-			diams = append(diams, float64(diam))
 			params := counting.DefaultLocalParams(delta)
 
 			benign, err := runProtocol(g, nil, rng.Split("benign").Uint64(),
 				func(v int, eng *sim.Engine) sim.Proc { return counting.NewLocalProc(params) },
 				nil2byz, params.MaxRounds+8, true)
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
-			benignMeans = append(benignMeans, meanEstimate(benign))
 
 			b := byzCount(n, 0.45)
 			byz, err := byzantine.RandomPlacement(g, b, rng.Split("place"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			world, err := byzantine.NewFakeWorld(2*n, d, delta, b, rng.Split("world"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			attack, err := runProtocol(g, byz, rng.Split("attack").Uint64(),
 				func(v int, eng *sim.Engine) sim.Proc { return counting.NewLocalProc(params) },
 				func(v int, eng *sim.Engine) sim.Proc { return byzantine.NewFakeNetworkLocal(world, 1) },
 				params.MaxRounds+8, true)
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
-			attackMeans = append(attackMeans, meanEstimate(attack))
-			boundedFracs = append(boundedFracs,
-				counting.FractionWithinFactor(attack.outcomes, attack.honest, 1, float64(diam+3)))
-			roundss = append(roundss, float64(attack.rounds))
-		}
-		t.AddRow(n, stats.Mean(diams), counting.Log2(n), byzCount(n, 0.45),
-			stats.Mean(benignMeans), stats.Mean(attackMeans),
-			stats.Mean(boundedFracs), stats.Mean(roundss))
+			return res{
+				diam:       float64(diam),
+				benignMean: meanEstimate(benign),
+				attackMean: meanEstimate(attack),
+				boundedFrac: counting.FractionWithinFactor(attack.outcomes, attack.honest,
+					1, float64(diam+3)),
+				rounds: float64(attack.rounds),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		rs := results[i]
+		t.AddRow(n, stats.Mean(column(rs, func(r res) float64 { return r.diam })),
+			counting.Log2(n), byzCount(n, 0.45),
+			stats.Mean(column(rs, func(r res) float64 { return r.benignMean })),
+			stats.Mean(column(rs, func(r res) float64 { return r.attackMean })),
+			stats.Mean(column(rs, func(r res) float64 { return r.boundedFrac })),
+			stats.Mean(column(rs, func(r res) float64 { return r.rounds })))
 	}
 	t.Notes = append(t.Notes,
 		"bounded = estimate within [1, diam+3]; rounds and estimates must grow with log n")
@@ -98,56 +111,73 @@ func E2(cfg Config) (*Table, error) {
 		n = 128
 	}
 	root := xrand.New(cfg.Seed)
-	for _, gamma := range []float64{0.9, 0.7, 0.5, 0.35} {
-		b := byzCount(n, 1-gamma)
-		var decided, bounded, meanAll, meanFar []float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			rng := root.SplitN(fmt.Sprintf("e2-g%.2f", gamma), trial)
+	gammas := []float64{0.9, 0.7, 0.5, 0.35}
+	type res struct {
+		decided, bounded, meanAll, meanFar float64
+		hasFar                             bool
+	}
+	results, err := sweepRows(cfg, root, gammas,
+		func(gamma float64) string { return fmt.Sprintf("e2-g%.2f", gamma) },
+		func(gamma float64, trial int, rng *xrand.Rand) (res, error) {
+			b := byzCount(n, 1-gamma)
 			g, err := hnd(n, d, rng.Split("graph"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			diam, err := g.Diameter()
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			byz, err := byzantine.ClusteredPlacement(g, b, rng.Split("place"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			world, err := byzantine.NewFakeWorld(2*n, d, delta, max(b, 1), rng.Split("world"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			params := counting.DefaultLocalParams(delta)
-			res, err := runProtocol(g, byz, rng.Split("run").Uint64(),
+			r, err := runProtocol(g, byz, rng.Split("run").Uint64(),
 				func(v int, eng *sim.Engine) sim.Proc { return counting.NewLocalProc(params) },
 				func(v int, eng *sim.Engine) sim.Proc { return byzantine.NewFakeNetworkLocal(world, 1) },
 				params.MaxRounds+8, true)
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
-			decided = append(decided, counting.DecidedFraction(res.outcomes, res.honest))
-			bounded = append(bounded,
-				counting.FractionWithinFactor(res.outcomes, res.honest, 1, float64(diam+3)))
-			meanAll = append(meanAll, meanEstimate(res))
+			out := res{
+				decided: counting.DecidedFraction(r.outcomes, r.honest),
+				bounded: counting.FractionWithinFactor(r.outcomes, r.honest,
+					1, float64(diam+3)),
+				meanAll: meanEstimate(r),
+			}
 			// "Far" nodes: distance > 2 from every Byzantine vertex — the
 			// Good set of Lemma 1 at this scale.
 			far := farMask(g, byz, 2)
 			var fsum float64
 			var fcnt int
-			for v, o := range res.outcomes {
-				if res.honest[v] && far[v] && o.Decided {
+			for v, o := range r.outcomes {
+				if r.honest[v] && far[v] && o.Decided {
 					fsum += float64(o.Estimate)
 					fcnt++
 				}
 			}
 			if fcnt > 0 {
-				meanFar = append(meanFar, fsum/float64(fcnt))
+				out.meanFar = fsum / float64(fcnt)
+				out.hasFar = true
 			}
-		}
-		t.AddRow(gamma, b, stats.Mean(decided), stats.Mean(bounded),
-			stats.Mean(meanAll), stats.Mean(meanFar))
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, gamma := range gammas {
+		rs := results[i]
+		t.AddRow(gamma, byzCount(n, 1-gamma),
+			stats.Mean(column(rs, func(r res) float64 { return r.decided })),
+			stats.Mean(column(rs, func(r res) float64 { return r.bounded })),
+			stats.Mean(column(rs, func(r res) float64 { return r.meanAll })),
+			stats.Mean(columnIf(rs, func(r res) bool { return r.hasFar },
+				func(r res) float64 { return r.meanFar })))
 	}
 	return t, nil
 }
@@ -182,44 +212,48 @@ func E3(cfg Config) (*Table, error) {
 	}
 	const d = 8
 	root := xrand.New(cfg.Seed)
-	for _, n := range nSweep(cfg, []int{128, 256, 512, 1024}, []int{64, 128}) {
-		b := byzCount(n, 0.45)
-		var decided, bounded, sacrificed, medians, tRounds []float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			rng := root.SplitN(fmt.Sprintf("e3-n%d", n), trial)
+	ns := nSweep(cfg, []int{128, 256, 512, 1024}, []int{64, 128})
+	type res struct {
+		decided, bounded, sacrificed, median, tRound float64
+	}
+	results, err := sweepRows(cfg, root, ns,
+		func(n int) string { return fmt.Sprintf("e3-n%d", n) },
+		func(n, trial int, rng *xrand.Rand) (res, error) {
+			b := byzCount(n, 0.45)
 			g, err := hnd(n, d, rng.Split("graph"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			byz, err := byzantine.RandomPlacement(g, b, rng.Split("place"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			params := counting.DefaultCongestParams(d)
 			params.MaxPhase = 9
-			res, err := runProtocol(g, byz, rng.Split("run").Uint64(),
+			r, err := runProtocol(g, byz, rng.Split("run").Uint64(),
 				func(v int, eng *sim.Engine) sim.Proc { return counting.NewCongestProc(params) },
 				func(v int, eng *sim.Engine) sim.Proc {
 					return byzantine.NewBeaconSpammer(params.Schedule, 6, false, rng.SplitN("spam", v))
 				},
 				congestMaxRounds(params), true)
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
-			decided = append(decided, counting.DecidedFraction(res.outcomes, res.honest))
 			logd := counting.LogD(n, d)
-			bounded = append(bounded,
-				counting.FractionWithinFactor(res.outcomes, res.honest, 0.5*logd, 2*logd+2))
-			// The sacrificed set: nodes dragged to the phase cap, i.e.
-			// (essentially) the spammers' direct neighbors. Its fraction
-			// is the beta of Theorem 2 and must shrink as n grows
-			// (B*d/n ~ d*n^-0.55).
-			sacrificed = append(sacrificed,
-				counting.FractionWithinFactor(res.outcomes, res.honest, float64(params.MaxPhase), 1e18))
+			out := res{
+				decided: counting.DecidedFraction(r.outcomes, r.honest),
+				bounded: counting.FractionWithinFactor(r.outcomes, r.honest,
+					0.5*logd, 2*logd+2),
+				// The sacrificed set: nodes dragged to the phase cap, i.e.
+				// (essentially) the spammers' direct neighbors. Its fraction
+				// is the beta of Theorem 2 and must shrink as n grows
+				// (B*d/n ~ d*n^-0.55).
+				sacrificed: counting.FractionWithinFactor(r.outcomes, r.honest,
+					float64(params.MaxPhase), 1e18),
+			}
 			var rounds []float64
-			tRound := 0.0
-			for v, o := range res.outcomes {
-				if !res.honest[v] || !o.Decided {
+			for v, o := range r.outcomes {
+				if !r.honest[v] || !o.Decided {
 					continue
 				}
 				rounds = append(rounds, float64(o.Round))
@@ -227,20 +261,29 @@ func E3(cfg Config) (*Table, error) {
 				// the latest decision among nodes inside the estimate
 				// band (the sacrificed cap-hitters are the beta fraction
 				// the theorem excludes).
-				logd := counting.LogD(n, d)
 				if float64(o.Estimate) >= 0.5*logd && float64(o.Estimate) <= 2*logd+2 {
-					if float64(o.Round) > tRound {
-						tRound = float64(o.Round)
+					if float64(o.Round) > out.tRound {
+						out.tRound = float64(o.Round)
 					}
 				}
 			}
-			medians = append(medians, stats.Median(rounds))
-			tRounds = append(tRounds, tRound)
-		}
+			out.median = stats.Median(rounds)
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		rs := results[i]
+		b := byzCount(n, 0.45)
 		log2 := counting.Log2(n)
+		tRounds := column(rs, func(r res) float64 { return r.tRound })
 		norm := stats.Mean(tRounds) / (float64(max(b, 1)) * log2 * log2)
-		t.AddRow(n, counting.LogD(n, d), b, stats.Mean(decided),
-			stats.Mean(bounded), stats.Mean(sacrificed), stats.Mean(medians),
+		t.AddRow(n, counting.LogD(n, d), b,
+			stats.Mean(column(rs, func(r res) float64 { return r.decided })),
+			stats.Mean(column(rs, func(r res) float64 { return r.bounded })),
+			stats.Mean(column(rs, func(r res) float64 { return r.sacrificed })),
+			stats.Mean(column(rs, func(r res) float64 { return r.median })),
 			stats.Mean(tRounds), norm)
 	}
 	t.Notes = append(t.Notes,
@@ -265,46 +308,54 @@ func E4(cfg Config) (*Table, error) {
 	}
 	root := xrand.New(cfg.Seed)
 
-	scenario := func(label string, withByz bool) error {
-		hist := stats.NewHistogram()
-		for trial := 0; trial < cfg.trials(); trial++ {
-			rng := root.SplitN("e4-"+label, trial)
+	type scen struct {
+		label   string
+		withByz bool
+	}
+	scens := []scen{
+		{"benign", false},
+		{"spam_B=" + fmt.Sprint(byzCount(n, 0.45)), true},
+	}
+	results, err := sweepRows(cfg, root, scens,
+		func(s scen) string { return "e4-" + s.label },
+		func(s scen, trial int, rng *xrand.Rand) ([]int, error) {
 			g, err := hnd(n, d, rng.Split("graph"))
 			if err != nil {
-				return err
+				return nil, err
 			}
 			var byz []bool
-			if withByz {
+			if s.withByz {
 				byz, err = byzantine.RandomPlacement(g, byzCount(n, 0.45), rng.Split("place"))
 				if err != nil {
-					return err
+					return nil, err
 				}
 			}
 			params := counting.DefaultCongestParams(d)
 			params.MaxPhase = 12
-			res, err := runProtocol(g, byz, rng.Split("run").Uint64(),
+			r, err := runProtocol(g, byz, rng.Split("run").Uint64(),
 				func(v int, eng *sim.Engine) sim.Proc { return counting.NewCongestProc(params) },
 				func(v int, eng *sim.Engine) sim.Proc {
 					return byzantine.NewBeaconSpammer(params.Schedule, 6, false, rng.SplitN("spam", v))
 				},
 				congestMaxRounds(params), true)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			for _, e := range counting.DecidedEstimates(res.outcomes, res.honest) {
+			return counting.DecidedEstimates(r.outcomes, r.honest), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range scens {
+		hist := stats.NewHistogram()
+		for _, ests := range results[i] {
+			for _, e := range ests {
 				hist.Add(e)
 			}
 		}
 		mode, _ := hist.Mode()
-		t.AddRow(label, mode, hist.Fraction(mode-1, mode+1),
+		t.AddRow(s.label, mode, hist.Fraction(mode-1, mode+1),
 			hist.Buckets()[0], hist.Buckets()[len(hist.Buckets())-1], hist.String())
-		return nil
-	}
-	if err := scenario("benign", false); err != nil {
-		return nil, err
-	}
-	if err := scenario("spam_B="+fmt.Sprint(byzCount(n, 0.45)), true); err != nil {
-		return nil, err
 	}
 	return t, nil
 }
@@ -320,34 +371,47 @@ func E5(cfg Config) (*Table, error) {
 	}
 	const d = 8
 	root := xrand.New(cfg.Seed)
-	for _, n := range nSweep(cfg, []int{128, 256, 512, 1024, 2048}, []int{64, 128}) {
-		var roundss, fracs, maxBits, modes []float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			rng := root.SplitN(fmt.Sprintf("e5-n%d", n), trial)
+	ns := nSweep(cfg, []int{128, 256, 512, 1024, 2048}, []int{64, 128})
+	type res struct {
+		rounds, frac, maxBits, mode float64
+	}
+	results, err := sweepRows(cfg, root, ns,
+		func(n int) string { return fmt.Sprintf("e5-n%d", n) },
+		func(n, trial int, rng *xrand.Rand) (res, error) {
 			g, err := hnd(n, d, rng.Split("graph"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			params := counting.DefaultCongestParams(d)
-			res, err := runProtocol(g, nil, rng.Split("run").Uint64(),
+			r, err := runProtocol(g, nil, rng.Split("run").Uint64(),
 				func(v int, eng *sim.Engine) sim.Proc { return counting.NewCongestProc(params) },
 				nil2byz, congestMaxRounds(params), false) // run to full halt
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			hist := stats.NewHistogram()
-			for _, e := range counting.DecidedEstimates(res.outcomes, res.honest) {
+			for _, e := range counting.DecidedEstimates(r.outcomes, r.honest) {
 				hist.Add(e)
 			}
 			mode, _ := hist.Mode()
-			modes = append(modes, float64(mode))
-			fracs = append(fracs, hist.Fraction(mode-1, mode+1))
-			roundss = append(roundss, float64(res.rounds))
-			maxBits = append(maxBits, float64(res.metrics.MaxMsgBits))
-		}
+			return res{
+				rounds:  float64(r.rounds),
+				frac:    hist.Fraction(mode-1, mode+1),
+				maxBits: float64(r.metrics.MaxMsgBits),
+				mode:    float64(mode),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		rs := results[i]
+		roundss := column(rs, func(r res) float64 { return r.rounds })
 		t.AddRow(n, counting.LogD(n, d), stats.Mean(roundss),
-			stats.Mean(roundss)/counting.Log2(n), stats.Mean(modes),
-			stats.Mean(fracs), stats.Mean(maxBits))
+			stats.Mean(roundss)/counting.Log2(n),
+			stats.Mean(column(rs, func(r res) float64 { return r.mode })),
+			stats.Mean(column(rs, func(r res) float64 { return r.frac })),
+			stats.Mean(column(rs, func(r res) float64 { return r.maxBits })))
 	}
 	return t, nil
 }
@@ -462,28 +526,27 @@ func E6(cfg Config) (*Table, error) {
 		{"congest(paper)", 0, counting.LogD(n, d), congestRun},
 		{"congest(paper)", byzCount(n, 0.45), counting.LogD(n, d), congestRun},
 	}
-	for _, sc := range scenarios {
-		var medians []float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			rng := root.SplitN(fmt.Sprintf("e6-%s-%d", sc.name, sc.byz), trial)
+	results, err := sweepRows(cfg, root, scenarios,
+		func(sc scenario) string { return fmt.Sprintf("e6-%s-%d", sc.name, sc.byz) },
+		func(sc scenario, trial int, rng *xrand.Rand) (float64, error) {
 			g, err := hnd(n, d, rng.Split("graph"))
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			var byz []bool
 			if sc.byz > 0 {
 				byz, err = byzantine.RandomPlacement(g, sc.byz, rng.Split("place"))
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 			}
-			m, err := sc.run(rng.Split("run"), g, byz)
-			if err != nil {
-				return nil, err
-			}
-			medians = append(medians, m)
-		}
-		med := stats.Mean(medians)
+			return sc.run(rng.Split("run"), g, byz)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range scenarios {
+		med := stats.Mean(results[i])
 		relErr := math.Abs(med-sc.truth) / math.Max(sc.truth, 1)
 		t.AddRow(sc.name, sc.byz, med, sc.truth, relErr)
 	}

@@ -25,42 +25,55 @@ func E7(cfg Config) (*Table, error) {
 	const d = 8
 	n := 128
 	root := xrand.New(cfg.Seed)
-	for _, disable := range []bool{false, true} {
-		var decided, meanEsts, inflated, roundss []float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			rng := root.SplitN(fmt.Sprintf("e7-%v", disable), trial)
+	disables := []bool{false, true}
+	type res struct {
+		decided, meanEst, inflated, rounds float64
+	}
+	results, err := sweepRows(cfg, root, disables,
+		func(disable bool) string { return fmt.Sprintf("e7-%v", disable) },
+		func(disable bool, trial int, rng *xrand.Rand) (res, error) {
 			g, err := hnd(n, d, rng.Split("graph"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			byz, err := byzantine.RandomPlacement(g, 2, rng.Split("place"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			params := counting.DefaultCongestParams(d)
 			params.MaxPhase = 8
 			params.DisableBlacklist = disable
-			res, err := runProtocol(g, byz, rng.Split("run").Uint64(),
+			r, err := runProtocol(g, byz, rng.Split("run").Uint64(),
 				func(v int, eng *sim.Engine) sim.Proc { return counting.NewCongestProc(params) },
 				func(v int, eng *sim.Engine) sim.Proc {
 					return byzantine.NewBeaconSpammer(params.Schedule, 6, false, rng.SplitN("spam", v))
 				},
 				congestMaxRounds(params), true)
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
-			decided = append(decided, counting.DecidedFraction(res.outcomes, res.honest))
-			meanEsts = append(meanEsts, meanEstimate(res))
-			inflated = append(inflated,
-				counting.FractionWithinFactor(res.outcomes, res.honest, float64(params.MaxPhase), 1e18))
-			roundss = append(roundss, float64(res.rounds))
-		}
+			return res{
+				decided: counting.DecidedFraction(r.outcomes, r.honest),
+				meanEst: meanEstimate(r),
+				inflated: counting.FractionWithinFactor(r.outcomes, r.honest,
+					float64(params.MaxPhase), 1e18),
+				rounds: float64(r.rounds),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, disable := range disables {
+		rs := results[i]
 		label := "on"
 		if disable {
 			label = "off"
 		}
-		t.AddRow(label, stats.Mean(decided), stats.Mean(meanEsts),
-			stats.Mean(inflated), stats.Mean(roundss))
+		t.AddRow(label,
+			stats.Mean(column(rs, func(r res) float64 { return r.decided })),
+			stats.Mean(column(rs, func(r res) float64 { return r.meanEst })),
+			stats.Mean(column(rs, func(r res) float64 { return r.inflated })),
+			stats.Mean(column(rs, func(r res) float64 { return r.rounds })))
 	}
 	return t, nil
 }
@@ -75,21 +88,29 @@ func E8(cfg Config) (*Table, error) {
 	}
 	root := xrand.New(cfg.Seed)
 	ns := nSweep(cfg, []int{256, 512, 1024, 2048, 4096}, []int{256, 512})
+	type row struct{ n, d int }
+	var rows []row
 	for _, n := range ns {
 		for _, d := range []int{8, 16} {
-			var fracs []float64
-			r := graph.TreeLikeRadius(n, d)
-			for trial := 0; trial < cfg.trials(); trial++ {
-				rng := root.SplitN(fmt.Sprintf("e8-%d-%d", n, d), trial)
-				g, err := hnd(n, d, rng)
-				if err != nil {
-					return nil, err
-				}
-				fracs = append(fracs, g.TreeLikeFraction(r, d))
-			}
-			floor := 1 - 1/math.Pow(float64(n), 0.2)
-			t.AddRow(n, d, r, stats.Mean(fracs), floor)
+			rows = append(rows, row{n, d})
 		}
+	}
+	results, err := sweepRows(cfg, root, rows,
+		func(rw row) string { return fmt.Sprintf("e8-%d-%d", rw.n, rw.d) },
+		func(rw row, trial int, rng *xrand.Rand) (float64, error) {
+			g, err := hnd(rw.n, rw.d, rng)
+			if err != nil {
+				return 0, err
+			}
+			return g.TreeLikeFraction(graph.TreeLikeRadius(rw.n, rw.d), rw.d), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, rw := range rows {
+		r := graph.TreeLikeRadius(rw.n, rw.d)
+		floor := 1 - 1/math.Pow(float64(rw.n), 0.2)
+		t.AddRow(rw.n, rw.d, r, stats.Mean(results[i]), floor)
 	}
 	t.Notes = append(t.Notes,
 		"the O() in Lemma 2 hides a constant; the trend (fraction -> 1 as n grows) is the claim under test")
@@ -106,35 +127,46 @@ func E9(cfg Config) (*Table, error) {
 	}
 	const d = 8
 	root := xrand.New(cfg.Seed)
-	for _, n := range nSweep(cfg, []int{64, 128, 256, 512}, []int{64, 128}) {
-		var localTotal, congestMax, congestTotal []float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			rng := root.SplitN(fmt.Sprintf("e9-n%d", n), trial)
+	ns := nSweep(cfg, []int{64, 128, 256, 512}, []int{64, 128})
+	type res struct {
+		localTotal, congestMax, congestTotal float64
+	}
+	results, err := sweepRows(cfg, root, ns,
+		func(n int) string { return fmt.Sprintf("e9-n%d", n) },
+		func(n, trial int, rng *xrand.Rand) (res, error) {
 			g, err := hnd(n, d, rng.Split("graph"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			lp := counting.DefaultLocalParams(d)
 			lres, err := runProtocol(g, nil, rng.Split("l").Uint64(),
 				func(v int, eng *sim.Engine) sim.Proc { return counting.NewLocalProc(lp) },
 				nil2byz, lp.MaxRounds+8, true)
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
-			localTotal = append(localTotal, float64(lres.metrics.Bits))
-
 			cp := counting.DefaultCongestParams(d)
 			cres, err := runProtocol(g, nil, rng.Split("c").Uint64(),
 				func(v int, eng *sim.Engine) sim.Proc { return counting.NewCongestProc(cp) },
 				nil2byz, congestMaxRounds(cp), false)
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
-			congestMax = append(congestMax, float64(cres.metrics.MaxMsgBits))
-			congestTotal = append(congestTotal, float64(cres.metrics.Bits))
-		}
-		lt := stats.Mean(localTotal)
-		t.AddRow(n, lt/1e6, lt/float64(n), stats.Mean(congestMax), stats.Mean(congestTotal)/1e6)
+			return res{
+				localTotal:   float64(lres.metrics.Bits),
+				congestMax:   float64(cres.metrics.MaxMsgBits),
+				congestTotal: float64(cres.metrics.Bits),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		rs := results[i]
+		lt := stats.Mean(column(rs, func(r res) float64 { return r.localTotal }))
+		t.AddRow(n, lt/1e6, lt/float64(n),
+			stats.Mean(column(rs, func(r res) float64 { return r.congestMax })),
+			stats.Mean(column(rs, func(r res) float64 { return r.congestTotal }))/1e6)
 	}
 	t.Notes = append(t.Notes,
 		"local_bits_per_node grows ~linearly in n (each node ships the whole topology); congest_max_bits grows ~logarithmically")
@@ -155,34 +187,38 @@ func E10(cfg Config) (*Table, error) {
 		nLeft = 64
 	}
 	root := xrand.New(cfg.Seed)
-	for _, nRight := range []int{nLeft, 8 * nLeft} {
-		var leftMeans, rightMeans, hEst []float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			// The split label deliberately excludes nRight: the left bell,
-			// the node IDs and coins of its vertices, and the bridge's
-			// behaviour are IDENTICAL across the two rows, so any
-			// left-side difference could only come from what is behind
-			// the bridge — which a silent cut vertex never reveals.
-			rng := root.SplitN("e10", trial)
+	nRights := []int{nLeft, 8 * nLeft}
+	type res struct {
+		hEst, leftMean, rightMean float64
+		hasLeft, hasRight         bool
+	}
+	results, err := sweepRows(cfg, root, nRights,
+		// The label deliberately excludes nRight: the left bell, the node
+		// IDs and coins of its vertices, and the bridge's behaviour are
+		// IDENTICAL across the two rows, so any left-side difference could
+		// only come from what is behind the bridge — which a silent cut
+		// vertex never reveals.
+		func(int) string { return "e10" },
+		func(nRight, trial int, rng *xrand.Rand) (res, error) {
 			g, bridge, err := graph.Dumbbell(nLeft, nRight, d, rng.Split("graph"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
-			hEst = append(hEst, g.EstimateVertexExpansion(8, rng.Split("sweep")))
+			out := res{hEst: g.EstimateVertexExpansion(8, rng.Split("sweep"))}
 			byz := make([]bool, g.N())
 			byz[bridge] = true
 			params := counting.DefaultCongestParams(d)
 			params.MaxPhase = 12
-			res, err := runProtocol(g, byz, rng.Split("run").Uint64(),
+			r, err := runProtocol(g, byz, rng.Split("run").Uint64(),
 				func(v int, eng *sim.Engine) sim.Proc { return counting.NewCongestProc(params) },
 				func(v int, eng *sim.Engine) sim.Proc { return byzantine.Silent{} },
 				congestMaxRounds(params), true)
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			var lsum, rsum float64
 			var lcnt, rcnt int
-			for v, o := range res.outcomes {
+			for v, o := range r.outcomes {
 				if v == bridge || !o.Decided {
 					continue
 				}
@@ -195,14 +231,26 @@ func E10(cfg Config) (*Table, error) {
 				}
 			}
 			if lcnt > 0 {
-				leftMeans = append(leftMeans, lsum/float64(lcnt))
+				out.leftMean = lsum / float64(lcnt)
+				out.hasLeft = true
 			}
 			if rcnt > 0 {
-				rightMeans = append(rightMeans, rsum/float64(rcnt))
+				out.rightMean = rsum / float64(rcnt)
+				out.hasRight = true
 			}
-		}
-		t.AddRow(nLeft, nRight, counting.Log2(nLeft+nRight+1), stats.Mean(hEst),
-			stats.Mean(leftMeans), stats.Mean(rightMeans))
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, nRight := range nRights {
+		rs := results[i]
+		t.AddRow(nLeft, nRight, counting.Log2(nLeft+nRight+1),
+			stats.Mean(column(rs, func(r res) float64 { return r.hEst })),
+			stats.Mean(columnIf(rs, func(r res) bool { return r.hasLeft },
+				func(r res) float64 { return r.leftMean })),
+			stats.Mean(columnIf(rs, func(r res) bool { return r.hasRight },
+				func(r res) float64 { return r.rightMean })))
 	}
 	t.Notes = append(t.Notes,
 		"left_mean_est must be (near) identical across rows: side A cannot tell an 8x larger network behind the bridge from an equal one")
@@ -255,22 +303,23 @@ func E11(cfg Config) (*Table, error) {
 		{"congest_counting", counted},
 		{"none (walk len 1)", func(rng *xrand.Rand, g *graph.Graph) (int, error) { return 0, nil }},
 	}
-	for _, s := range sources {
-		var fracs []float64
-		var estUsed, walkUsed []float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			rng := root.SplitN("e11-"+s.name, trial)
+	type res struct {
+		logEst, walkLen, frac float64
+	}
+	results, err := sweepRows(cfg, root, sources,
+		func(s src) string { return "e11-" + s.name },
+		func(s src, trial int, rng *xrand.Rand) (res, error) {
 			g, err := hnd(n, d, rng.Split("graph"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			byz, err := byzantine.RandomPlacement(g, 4, rng.Split("place"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			logEst, err := s.logEst(rng.Split("est"), g)
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			var params agreement.Params
 			if s.name == "none (walk len 1)" {
@@ -278,15 +327,25 @@ func E11(cfg Config) (*Table, error) {
 			} else {
 				params = agreement.FromEstimate(logEst)
 			}
-			estUsed = append(estUsed, float64(logEst))
-			walkUsed = append(walkUsed, float64(params.WalkLen))
 			frac, err := runAgreeWithParams(rng.Split("agree"), g, byz, params)
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
-			fracs = append(fracs, frac)
-		}
-		t.AddRow(s.name, stats.Mean(estUsed), stats.Mean(walkUsed), stats.Mean(fracs))
+			return res{
+				logEst:  float64(logEst),
+				walkLen: float64(params.WalkLen),
+				frac:    frac,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range sources {
+		rs := results[i]
+		t.AddRow(s.name,
+			stats.Mean(column(rs, func(r res) float64 { return r.logEst })),
+			stats.Mean(column(rs, func(r res) float64 { return r.walkLen })),
+			stats.Mean(column(rs, func(r res) float64 { return r.frac })))
 	}
 	t.Notes = append(t.Notes,
 		"success = fraction of honest nodes holding the initial honest majority bit (1, a 75/25 split)")
@@ -334,46 +393,52 @@ func E12(cfg Config) (*Table, error) {
 	}
 	b := byzCount(n, 0.45)
 	root := xrand.New(cfg.Seed)
-	placements := []struct {
+	type placementRow struct {
 		name string
 		p    byzantine.Placement
-	}{
+	}
+	placements := []placementRow{
 		{"random", byzantine.RandomPlacement},
 		{"clustered", byzantine.ClusteredPlacement},
 		{"spread", byzantine.SpreadPlacement},
 	}
-	for _, pl := range placements {
-		var decided, bounded, nearMeans, farMeans []float64
-		for trial := 0; trial < cfg.trials(); trial++ {
-			rng := root.SplitN("e12-"+pl.name, trial)
+	type res struct {
+		decided, bounded, nearMean, farMean float64
+		hasNear, hasFar                     bool
+	}
+	results, err := sweepRows(cfg, root, placements,
+		func(pl placementRow) string { return "e12-" + pl.name },
+		func(pl placementRow, trial int, rng *xrand.Rand) (res, error) {
 			g, err := hnd(n, d, rng.Split("graph"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			byz, err := pl.p(g, b, rng.Split("place"))
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
 			params := counting.DefaultCongestParams(d)
 			params.MaxPhase = 10
-			res, err := runProtocol(g, byz, rng.Split("run").Uint64(),
+			r, err := runProtocol(g, byz, rng.Split("run").Uint64(),
 				func(v int, eng *sim.Engine) sim.Proc { return counting.NewCongestProc(params) },
 				func(v int, eng *sim.Engine) sim.Proc {
 					return byzantine.NewBeaconSpammer(params.Schedule, 6, false, rng.SplitN("spam", v))
 				},
 				congestMaxRounds(params), true)
 			if err != nil {
-				return nil, err
+				return res{}, err
 			}
-			decided = append(decided, counting.DecidedFraction(res.outcomes, res.honest))
 			logd := counting.LogD(n, d)
-			bounded = append(bounded,
-				counting.FractionWithinFactor(res.outcomes, res.honest, 0.5*logd, 2*logd+3))
+			out := res{
+				decided: counting.DecidedFraction(r.outcomes, r.honest),
+				bounded: counting.FractionWithinFactor(r.outcomes, r.honest,
+					0.5*logd, 2*logd+3),
+			}
 			far := farMask(g, byz, 2)
 			var nsum, fsum float64
 			var ncnt, fcnt int
-			for v, o := range res.outcomes {
-				if !res.honest[v] || !o.Decided {
+			for v, o := range r.outcomes {
+				if !r.honest[v] || !o.Decided {
 					continue
 				}
 				if far[v] {
@@ -385,14 +450,27 @@ func E12(cfg Config) (*Table, error) {
 				}
 			}
 			if ncnt > 0 {
-				nearMeans = append(nearMeans, nsum/float64(ncnt))
+				out.nearMean = nsum / float64(ncnt)
+				out.hasNear = true
 			}
 			if fcnt > 0 {
-				farMeans = append(farMeans, fsum/float64(fcnt))
+				out.farMean = fsum / float64(fcnt)
+				out.hasFar = true
 			}
-		}
-		t.AddRow(pl.name, stats.Mean(decided), stats.Mean(bounded),
-			stats.Mean(nearMeans), stats.Mean(farMeans))
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, pl := range placements {
+		rs := results[i]
+		t.AddRow(pl.name,
+			stats.Mean(column(rs, func(r res) float64 { return r.decided })),
+			stats.Mean(column(rs, func(r res) float64 { return r.bounded })),
+			stats.Mean(columnIf(rs, func(r res) bool { return r.hasNear },
+				func(r res) float64 { return r.nearMean })),
+			stats.Mean(columnIf(rs, func(r res) bool { return r.hasFar },
+				func(r res) float64 { return r.farMean })))
 	}
 	return t, nil
 }

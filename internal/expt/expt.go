@@ -7,6 +7,7 @@ package expt
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -21,6 +22,12 @@ type Config struct {
 	Trials int
 	// Quick shrinks the sweep for benchmarks and smoke tests.
 	Quick bool
+	// Parallel bounds how many (row, trial) cells the sweep driver runs
+	// concurrently. 0 (the default) means GOMAXPROCS; 1 forces serial
+	// execution. Tables are byte-identical for every value: each cell's
+	// randomness is a pure sub-seed of (Seed, row label, trial index)
+	// and rows are collected in deterministic order.
+	Parallel int
 }
 
 func (c Config) trials() int {
@@ -28,6 +35,13 @@ func (c Config) trials() int {
 		return 3
 	}
 	return c.Trials
+}
+
+func (c Config) parallel() int {
+	if c.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Parallel
 }
 
 // Table is a rendered experiment result.

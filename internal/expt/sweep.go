@@ -1,0 +1,78 @@
+package expt
+
+// The shared sweep/trial driver: every experiment is a sweep of rows,
+// each repeated for cfg.Trials() independent trials. Trials are pure
+// functions of their (row label, trial index) sub-seed — xrand.Split is
+// a pure derivation from the parent seed, so the sub-streams are
+// identical however the (row, trial) grid is scheduled. The driver
+// executes the whole grid concurrently with bounded parallelism and
+// collects results in deterministic (row, trial) order, which makes
+// every table byte-identical across -parallel 1 and -parallel N.
+
+import (
+	"sync"
+
+	"byzcount/internal/xrand"
+)
+
+// sweepRows runs fn once per (row, trial) pair, at most cfg.parallel()
+// concurrently, and returns results[row][trial]. The sub-seed of a pair
+// is root.SplitN(label(row), trial) — exactly what the hand-rolled
+// per-runner loops used, so tables are unchanged from the serial days.
+// On failure the first error in (row, trial) order is returned.
+func sweepRows[P, R any](cfg Config, root *xrand.Rand, rows []P,
+	label func(P) string, fn func(row P, trial int, rng *xrand.Rand) (R, error)) ([][]R, error) {
+	trials := cfg.trials()
+	results := make([][]R, len(rows))
+	errs := make([][]error, len(rows))
+	for i := range rows {
+		results[i] = make([]R, trials)
+		errs[i] = make([]error, trials)
+	}
+	sem := make(chan struct{}, cfg.parallel())
+	var wg sync.WaitGroup
+	for i := range rows {
+		for t := 0; t < trials; t++ {
+			wg.Add(1)
+			go func(i, t int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				rng := root.SplitN(label(rows[i]), t)
+				results[i][t], errs[i][t] = fn(rows[i], t, rng)
+			}(i, t)
+		}
+	}
+	wg.Wait()
+	for i := range errs {
+		for _, err := range errs[i] {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return results, nil
+}
+
+// column extracts one float64 per trial from a row's results, in trial
+// order — the shape stats.Mean and friends consume.
+func column[R any](trials []R, get func(R) float64) []float64 {
+	out := make([]float64, 0, len(trials))
+	for _, r := range trials {
+		out = append(out, get(r))
+	}
+	return out
+}
+
+// columnIf is column restricted to trials where keep returns true (for
+// per-trial statistics that are undefined on some trials, e.g. a mean
+// over an empty vertex class).
+func columnIf[R any](trials []R, keep func(R) bool, get func(R) float64) []float64 {
+	out := make([]float64, 0, len(trials))
+	for _, r := range trials {
+		if keep(r) {
+			out = append(out, get(r))
+		}
+	}
+	return out
+}

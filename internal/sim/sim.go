@@ -4,14 +4,20 @@
 // computation is free, and the engine stamps the true sender on every
 // message so that Byzantine nodes cannot fake their IDs.
 //
-// The engine is single-threaded and deterministic: identical seeds and
-// processes produce identical executions, which makes every experiment
-// row reproducible.
+// The engine is deterministic: identical seeds and processes produce
+// identical executions, which makes every experiment row reproducible.
+// It runs serially by default; SetParallelism switches it to a sharded
+// worker-pool mode that steps vertices concurrently and then merges
+// outboxes in ascending vertex order, so delivery order, edge-capacity
+// decisions, and metrics are byte-for-byte identical to the serial
+// engine (see round ordering notes on roundParallel).
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"byzcount/internal/graph"
 	"byzcount/internal/xrand"
@@ -81,6 +87,18 @@ type Proc interface {
 	Halted() bool
 }
 
+// Sequential marks processes whose Step must not run concurrently with
+// other processes' Steps — typically adversaries sharing one mutable
+// structure (e.g. the consistent fake world of the Remark 1 attack,
+// where attachment order is observable). The parallel engine steps every
+// Sequential process on a single goroutine in ascending vertex order,
+// which is exactly the serial engine's mutation order, so executions
+// stay bit-identical. Processes whose state is strictly per-vertex need
+// not (and should not) implement this.
+type Sequential interface {
+	StepsSequentially()
+}
+
 // Metrics aggregates message-level measurements across a run.
 type Metrics struct {
 	Rounds        int   // rounds executed
@@ -96,6 +114,49 @@ type Metrics struct {
 	MessagesByRound []int64
 }
 
+// routed is an admitted message waiting in an outbox for the merge
+// phase of a parallel round.
+type routed struct {
+	to      int32
+	from    int32
+	payload Payload
+}
+
+// workerState is the per-worker scratch of one round: admission budgets
+// and shard-local metric accumulators. The accumulators are flushed into
+// Metrics after every round; all of them are order-independent
+// (integer sums and maxes), so the flush order never changes totals.
+type workerState struct {
+	// budget[w] is the payload bits the current sender has used toward
+	// destination w this round; budgetGen lazily resets it per sender so
+	// the slice never needs clearing (the indexed-slice replacement for
+	// the old per-round map).
+	budget    []int
+	budgetGen []uint64
+	gen       uint64
+
+	// nbrMark[w] == gen marks w as a neighbor of the sender being
+	// processed. Stamping costs O(degree) per sender but makes every
+	// membership check one predictable load — a scan or binary search
+	// mispredicts its data-dependent exit on nearly every message,
+	// which costs more than the whole map lookup it replaced.
+	nbrMark []uint64
+
+	// buckets[s] holds this worker's admitted messages destined for
+	// shard s, in ascending sender order (the worker steps a contiguous
+	// vertex range in order). The merge phase for shard s concatenates
+	// workers' buckets in worker order, so each merge worker touches
+	// only its own messages instead of scanning everyone's.
+	buckets [][]routed
+
+	messages   int64
+	bits       int64
+	violations int64
+	capped     int64
+	maxMsgBits int
+	allHalted  bool
+}
+
 // Engine drives a set of processes over a network graph in lock-step
 // rounds.
 type Engine struct {
@@ -103,6 +164,9 @@ type Engine struct {
 	procs []Proc
 	envs  []Env
 	ids   []NodeID
+
+	// vertexOf inverts ids for O(1) VertexOf lookups.
+	vertexOf map[NodeID]int
 
 	// stop, if non-nil, is evaluated after every round; returning true
 	// ends the run early (used for "all honest nodes decided" detection).
@@ -113,16 +177,28 @@ type Engine struct {
 	// one edge per round; excess messages on that edge are dropped and
 	// counted in Metrics.Capped. Zero means the LOCAL model (unbounded).
 	edgeCapBits int
-	// edgeBudget[v] tracks per-destination bits used by v this round.
-	edgeBudget map[int]int
 
 	metrics Metrics
 
-	// double-buffered inboxes, indexed by vertex
+	// double-buffered inboxes, indexed by vertex; the buffers are
+	// truncated, never freed, so steady-state rounds allocate nothing
+	// for delivery.
 	cur, next [][]Incoming
 
-	// isNeighbor caches adjacency for O(1) destination checks
-	neighborSet []map[int]bool
+	// sortedAdj[v] is v's adjacency, deduplicated and sorted ascending.
+	// Each round a sender stamps these into its worker's nbrMark array
+	// so destination checks are one compare (replaces the old
+	// []map[int]bool, whose per-vertex maps dominated setup memory).
+	sortedAdj [][]int32
+
+	// --- parallel mode ---
+	workers int            // requested Step-shard workers; <=1 means serial
+	ranges  [][2]int       // contiguous vertex ranges, one per worker
+	shardOf []int32        // vertex -> owning range index
+	seq     []int          // vertices whose procs implement Sequential, ascending
+	isSeq   []bool         // membership mask for seq
+	ws      []*workerState // one per range worker, plus one for seq, plus [0] reused serially
+	acc     [][]routed     // per-sender outboxes (fallback rounds with Sequential procs)
 }
 
 // ErrSizeMismatch is returned when the number of attached processes does
@@ -136,32 +212,33 @@ func NewEngine(g *graph.Graph, seed uint64) *Engine {
 	root := xrand.New(seed)
 	idStream := root.Split("ids")
 	e := &Engine{
-		g:           g,
-		envs:        make([]Env, n),
-		ids:         make([]NodeID, n),
-		cur:         make([][]Incoming, n),
-		next:        make([][]Incoming, n),
-		neighborSet: make([]map[int]bool, n),
+		g:         g,
+		envs:      make([]Env, n),
+		ids:       make([]NodeID, n),
+		vertexOf:  make(map[NodeID]int, n),
+		cur:       make([][]Incoming, n),
+		next:      make([][]Incoming, n),
+		sortedAdj: make([][]int32, n),
 	}
 	e.metrics.PerNodeMaxBit = make([]int, n)
-	seen := make(map[NodeID]bool, n)
 	for v := 0; v < n; v++ {
 		id := NodeID(idStream.ID())
-		for seen[id] {
+		for _, dup := e.vertexOf[id]; dup; _, dup = e.vertexOf[id] {
 			id = NodeID(idStream.ID())
 		}
-		seen[id] = true
+		e.vertexOf[id] = v
 		e.ids[v] = id
 	}
 	for v := 0; v < n; v++ {
 		nbrs := g.Neighbors(v)
-		set := make(map[int]bool, len(nbrs))
 		nbrIDs := make([]NodeID, len(nbrs))
+		sorted := make([]int32, len(nbrs))
 		for k, w := range nbrs {
-			set[w] = true
 			nbrIDs[k] = e.ids[w]
+			sorted[k] = int32(w)
 		}
-		e.neighborSet[v] = set
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		e.sortedAdj[v] = dedupSorted(sorted)
 		e.envs[v] = Env{
 			Vertex:      v,
 			ID:          e.ids[v],
@@ -174,12 +251,32 @@ func NewEngine(g *graph.Graph, seed uint64) *Engine {
 	return e
 }
 
+// dedupSorted compacts consecutive duplicates (parallel edges) in place.
+func dedupSorted(s []int32) []int32 {
+	out := s[:0]
+	for i, x := range s {
+		if i == 0 || x != s[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
 // Attach installs one process per vertex. It must be called before Run.
 func (e *Engine) Attach(procs []Proc) error {
 	if len(procs) != e.g.N() {
 		return fmt.Errorf("%w: %d processes for %d vertices", ErrSizeMismatch, len(procs), e.g.N())
 	}
 	e.procs = procs
+	e.ws = nil // worker scratch depends on which procs are Sequential
+	e.seq = e.seq[:0]
+	e.isSeq = make([]bool, len(procs))
+	for v, p := range procs {
+		if _, ok := p.(Sequential); ok {
+			e.seq = append(e.seq, v)
+			e.isSeq[v] = true
+		}
+	}
 	return nil
 }
 
@@ -196,9 +293,29 @@ func (e *Engine) SetStopCondition(stop func(round int) bool) { e.stop = stop }
 // topology dumps.
 func (e *Engine) SetEdgeCapacity(bits int) {
 	e.edgeCapBits = bits
-	if bits > 0 && e.edgeBudget == nil {
-		e.edgeBudget = make(map[int]int)
+}
+
+// SetParallelism sets the number of Step-shard workers used by Run.
+// Values <= 1 select the serial engine. Parallel execution is
+// deterministic and bit-identical to serial execution for any worker
+// count: vertices are stepped concurrently into per-vertex outboxes that
+// are merged in ascending sender order, and processes that share mutable
+// state across vertices (see Sequential) are stepped on one goroutine in
+// vertex order.
+func (e *Engine) SetParallelism(workers int) {
+	if workers < 1 {
+		workers = 1
 	}
+	e.workers = workers
+	e.ws = nil // force rebuild on next Run
+}
+
+// Parallelism reports the configured worker count (1 = serial).
+func (e *Engine) Parallelism() int {
+	if e.workers < 1 {
+		return 1
+	}
+	return e.workers
 }
 
 // Graph returns the underlying network graph.
@@ -209,10 +326,8 @@ func (e *Engine) ID(v int) NodeID { return e.ids[v] }
 
 // VertexOf returns the vertex with the given ID, or -1.
 func (e *Engine) VertexOf(id NodeID) int {
-	for v, x := range e.ids {
-		if x == id {
-			return v
-		}
+	if v, ok := e.vertexOf[id]; ok {
+		return v
 	}
 	return -1
 }
@@ -231,6 +346,368 @@ func (e *Engine) Env(v int) *Env { return &e.envs[v] }
 // Metrics returns the measurements accumulated so far.
 func (e *Engine) Metrics() Metrics { return e.metrics }
 
+// admit validates one outgoing message from v against the topology and
+// the per-edge capacity, accumulating metrics into ws. It returns whether
+// the message is delivered. The caller must have stamped v's neighbors
+// into ws.nbrMark under ws.gen (see stepVertexInto). The decision
+// depends only on v's own this-round traffic, so it is identical
+// however vertices are scheduled.
+func (e *Engine) admit(ws *workerState, v int, msg *Outgoing) bool {
+	if uint(msg.To) >= uint(e.g.N()) || ws.nbrMark[msg.To] != ws.gen {
+		ws.violations++
+		return false
+	}
+	bits := 0
+	if msg.Payload != nil {
+		bits = msg.Payload.SizeBits()
+	}
+	if e.edgeCapBits > 0 {
+		if ws.budget == nil {
+			ws.budget = make([]int, e.g.N())
+			ws.budgetGen = make([]uint64, e.g.N())
+		}
+		if ws.budgetGen[msg.To] != ws.gen {
+			ws.budgetGen[msg.To] = ws.gen
+			ws.budget[msg.To] = 0
+		}
+		if ws.budget[msg.To]+bits > e.edgeCapBits {
+			ws.capped++
+			return false
+		}
+		ws.budget[msg.To] += bits
+	}
+	ws.messages++
+	ws.bits += int64(bits)
+	if bits > ws.maxMsgBits {
+		ws.maxMsgBits = bits
+	}
+	if bits > e.metrics.PerNodeMaxBit[v] {
+		e.metrics.PerNodeMaxBit[v] = bits
+	}
+	return true
+}
+
+// ensureState builds (or rebuilds) the worker ranges and scratch used by
+// Run. Serial mode uses ws[0] only.
+func (e *Engine) ensureState() {
+	if e.ws != nil {
+		return
+	}
+	n := e.g.N()
+	w := e.Parallelism()
+	if w > n && n > 0 {
+		w = n
+	}
+	e.ranges = e.ranges[:0]
+	for i := 0; i < w; i++ {
+		lo, hi := i*n/w, (i+1)*n/w
+		e.ranges = append(e.ranges, [2]int{lo, hi})
+	}
+	// One state per range worker plus one for the sequential pass.
+	e.ws = make([]*workerState, w+1)
+	for i := range e.ws {
+		e.ws[i] = &workerState{buckets: make([][]routed, w)}
+	}
+	if w > 1 {
+		e.shardOf = make([]int32, n)
+		for i, r := range e.ranges {
+			for v := r[0]; v < r[1]; v++ {
+				e.shardOf[v] = int32(i)
+			}
+		}
+		if len(e.seq) > 0 && e.acc == nil {
+			e.acc = make([][]routed, n)
+		}
+	}
+}
+
+// flushRound folds every worker's per-round accumulators into Metrics
+// and returns this round's message count. All accumulators are integer
+// sums or maxes over disjoint message sets, so totals are exact and
+// independent of worker scheduling.
+func (e *Engine) flushRound() int64 {
+	var roundMsgs int64
+	for _, ws := range e.ws {
+		roundMsgs += ws.messages
+		e.metrics.Messages += ws.messages
+		e.metrics.Bits += ws.bits
+		e.metrics.Violations += ws.violations
+		e.metrics.Capped += ws.capped
+		if ws.maxMsgBits > e.metrics.MaxMsgBits {
+			e.metrics.MaxMsgBits = ws.maxMsgBits
+		}
+		ws.messages, ws.bits, ws.violations, ws.capped, ws.maxMsgBits = 0, 0, 0, 0, 0
+	}
+	return roundMsgs
+}
+
+// roundSerial executes one round on the calling goroutine, delivering
+// straight into next. Returns whether every process had halted. The
+// admission logic is hand-inlined (see admit for the commented version):
+// this loop is the engine's hot path and an uninlined call per message
+// costs ~50% throughput.
+func (e *Engine) roundSerial(r int) bool {
+	n := e.g.N()
+	ws := e.ws[0]
+	capBits := e.edgeCapBits
+	if capBits > 0 && ws.budget == nil {
+		ws.budget = make([]int, n)
+		ws.budgetGen = make([]uint64, n)
+	}
+	if ws.nbrMark == nil {
+		ws.nbrMark = make([]uint64, n)
+	}
+	nbrMark := ws.nbrMark
+	perNodeMax := e.metrics.PerNodeMaxBit
+	allHalted := true
+	for v := 0; v < n; v++ {
+		p := e.procs[v]
+		if p.Halted() {
+			e.cur[v] = e.cur[v][:0]
+			continue
+		}
+		allHalted = false
+		out := p.Step(&e.envs[v], r, e.cur[v])
+		e.cur[v] = e.cur[v][:0]
+		if len(out) == 0 {
+			continue
+		}
+		ws.gen++
+		gen := ws.gen
+		adj := e.sortedAdj[v]
+		for _, w := range adj {
+			nbrMark[w] = gen
+		}
+		fromID := e.ids[v]
+		maxSent := perNodeMax[v]
+		var msgs, totalBits int64
+		for _, msg := range out {
+			to, payload := msg.To, msg.Payload
+			if uint(to) >= uint(n) || nbrMark[to] != gen {
+				ws.violations++
+				continue
+			}
+			bits := 0
+			if payload != nil {
+				bits = payload.SizeBits()
+			}
+			if capBits > 0 {
+				if ws.budgetGen[to] != ws.gen {
+					ws.budgetGen[to] = ws.gen
+					ws.budget[to] = 0
+				}
+				if ws.budget[to]+bits > capBits {
+					ws.capped++
+					continue
+				}
+				ws.budget[to] += bits
+			}
+			msgs++
+			totalBits += int64(bits)
+			if bits > ws.maxMsgBits {
+				ws.maxMsgBits = bits
+			}
+			if bits > maxSent {
+				maxSent = bits
+			}
+			e.next[to] = append(e.next[to], Incoming{
+				From:    v,
+				FromID:  fromID,
+				Payload: payload,
+			})
+		}
+		ws.messages += msgs
+		ws.bits += totalBits
+		perNodeMax[v] = maxSent
+	}
+	return allHalted
+}
+
+// stepVertex runs the shared prologue of one parallel step: halt
+// check, Step, inbox truncation, and stamping the sender's neighbors
+// for admission. It returns the vertex's outgoing messages (nil when
+// halted or silent). Every vertex is owned by exactly one goroutine
+// per round, so cur, envs, procs and PerNodeMaxBit entries are
+// touched race-free.
+func (e *Engine) stepVertex(v, r int, ws *workerState) []Outgoing {
+	p := e.procs[v]
+	if p.Halted() {
+		e.cur[v] = e.cur[v][:0]
+		return nil
+	}
+	ws.allHalted = false
+	out := p.Step(&e.envs[v], r, e.cur[v])
+	e.cur[v] = e.cur[v][:0]
+	if len(out) == 0 {
+		return nil
+	}
+	if ws.nbrMark == nil {
+		ws.nbrMark = make([]uint64, e.g.N())
+	}
+	ws.gen++
+	for _, w := range e.sortedAdj[v] {
+		ws.nbrMark[w] = ws.gen
+	}
+	return out
+}
+
+// stepVertexBuckets steps one vertex, admitting its output into the
+// worker's per-destination-shard buckets (the fast path: no Sequential
+// procs, buckets are worker-private).
+func (e *Engine) stepVertexBuckets(v, r int, ws *workerState) {
+	out := e.stepVertex(v, r, ws)
+	for i := range out {
+		msg := &out[i]
+		if e.admit(ws, v, msg) {
+			s := e.shardOf[msg.To]
+			ws.buckets[s] = append(ws.buckets[s],
+				routed{to: int32(msg.To), from: int32(v), payload: msg.Payload})
+		}
+	}
+}
+
+// stepVertexInto steps one vertex, admitting its output into its private
+// outbox acc[v]. Used by the parallel round's fallback path when
+// Sequential procs are attached (their vertices are scattered across
+// ranges, so per-vertex outboxes are what keeps the merge order exact).
+func (e *Engine) stepVertexInto(v, r int, ws *workerState) {
+	out := e.stepVertex(v, r, ws)
+	for i := range out {
+		msg := &out[i]
+		if e.admit(ws, v, msg) {
+			e.acc[v] = append(e.acc[v], routed{to: int32(msg.To), from: int32(v), payload: msg.Payload})
+		}
+	}
+}
+
+// roundParallel executes one round with the sharded worker pool:
+//
+//  1. Step phase — each worker steps a contiguous vertex range into
+//     per-vertex outboxes; Sequential processes run on one extra
+//     goroutine in ascending vertex order (the serial mutation order).
+//     Admission (neighbor check, edge-capacity budget) is sender-local,
+//     so each decision is identical to the serial engine's.
+//  2. Merge phase — each worker owns a contiguous destination range and
+//     scans senders in ascending order, so every inbox receives its
+//     messages in exactly the serial delivery order.
+//
+// Metrics are shard-local sums/maxes flushed after the round. The net
+// effect is byte-for-byte equivalence with roundSerial.
+func (e *Engine) roundParallel(r int) bool {
+	w := len(e.ranges)
+	for _, ws := range e.ws {
+		ws.allHalted = true
+	}
+	if len(e.seq) == 0 {
+		e.roundParallelBuckets(r, w)
+	} else {
+		e.roundParallelScan(r, w)
+	}
+	allHalted := true
+	for _, ws := range e.ws {
+		allHalted = allHalted && ws.allHalted
+	}
+	return allHalted
+}
+
+// roundParallelBuckets is the fast path: no Sequential procs, so each
+// worker's contiguous range covers its vertices exactly, admitted
+// messages land in per-(worker, destination-shard) buckets, and the
+// merge worker for shard s walks workers 0..w-1 in order — ascending
+// sender order, touching only its own messages.
+func (e *Engine) roundParallelBuckets(r, w int) {
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ws := e.ws[i]
+			for v := e.ranges[i][0]; v < e.ranges[i][1]; v++ {
+				e.stepVertexBuckets(v, r, ws)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	wg = sync.WaitGroup{}
+	for s := 0; s < w; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < w; i++ {
+				bucket := e.ws[i].buckets[s]
+				for _, m := range bucket {
+					e.next[m.to] = append(e.next[m.to], Incoming{
+						From:    int(m.from),
+						FromID:  e.ids[m.from],
+						Payload: m.payload,
+					})
+				}
+				e.ws[i].buckets[s] = bucket[:0]
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+// roundParallelScan is the fallback when Sequential procs are attached:
+// their vertices are scattered across ranges and stepped on one extra
+// goroutine in ascending vertex order (the serial mutation order), so
+// messages go into per-vertex outboxes and each merge worker scans
+// senders in ascending order, keeping only its destination range.
+func (e *Engine) roundParallelScan(r, w int) {
+	n := e.g.N()
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ws := e.ws[i]
+			for v := e.ranges[i][0]; v < e.ranges[i][1]; v++ {
+				if e.isSeq[v] {
+					continue
+				}
+				e.stepVertexInto(v, r, ws)
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ws := e.ws[w]
+		for _, v := range e.seq {
+			e.stepVertexInto(v, r, ws)
+		}
+	}()
+	wg.Wait()
+
+	wg = sync.WaitGroup{}
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lo, hi := e.ranges[i][0], e.ranges[i][1]
+			for v := 0; v < n; v++ {
+				for _, m := range e.acc[v] {
+					to := int(m.to)
+					if to < lo || to >= hi {
+						continue
+					}
+					e.next[to] = append(e.next[to], Incoming{
+						From:    v,
+						FromID:  e.ids[v],
+						Payload: m.payload,
+					})
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for v := range e.acc {
+		e.acc[v] = e.acc[v][:0]
+	}
+}
+
 // Run executes up to maxRounds rounds and returns the number of rounds
 // executed. The run ends early when every process has halted or the stop
 // condition fires. Attach must have been called.
@@ -241,56 +718,18 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 	if maxRounds < 0 {
 		return 0, errors.New("sim: negative maxRounds")
 	}
-	n := e.g.N()
+	e.ensureState()
+	parallel := len(e.ranges) > 1
 	for r := 0; r < maxRounds; r++ {
-		allHalted := true
-		roundStartMsgs := e.metrics.Messages
-		for v := 0; v < n; v++ {
-			p := e.procs[v]
-			if p.Halted() {
-				e.cur[v] = e.cur[v][:0]
-				continue
-			}
-			allHalted = false
-			out := p.Step(&e.envs[v], r, e.cur[v])
-			e.cur[v] = e.cur[v][:0]
-			if e.edgeCapBits > 0 {
-				clear(e.edgeBudget)
-			}
-			for _, msg := range out {
-				if !e.neighborSet[v][msg.To] {
-					e.metrics.Violations++
-					continue
-				}
-				bits := 0
-				if msg.Payload != nil {
-					bits = msg.Payload.SizeBits()
-				}
-				if e.edgeCapBits > 0 {
-					if e.edgeBudget[msg.To]+bits > e.edgeCapBits {
-						e.metrics.Capped++
-						continue
-					}
-					e.edgeBudget[msg.To] += bits
-				}
-				e.metrics.Messages++
-				e.metrics.Bits += int64(bits)
-				if bits > e.metrics.MaxMsgBits {
-					e.metrics.MaxMsgBits = bits
-				}
-				if bits > e.metrics.PerNodeMaxBit[v] {
-					e.metrics.PerNodeMaxBit[v] = bits
-				}
-				e.next[msg.To] = append(e.next[msg.To], Incoming{
-					From:    v,
-					FromID:  e.ids[v],
-					Payload: msg.Payload,
-				})
-			}
+		var allHalted bool
+		if parallel {
+			allHalted = e.roundParallel(r)
+		} else {
+			allHalted = e.roundSerial(r)
 		}
+		roundMsgs := e.flushRound()
 		e.metrics.Rounds++
-		e.metrics.MessagesByRound = append(e.metrics.MessagesByRound,
-			e.metrics.Messages-roundStartMsgs)
+		e.metrics.MessagesByRound = append(e.metrics.MessagesByRound, roundMsgs)
 		e.cur, e.next = e.next, e.cur
 		if allHalted {
 			return r, nil
