@@ -16,6 +16,7 @@ import (
 	"byzcount/internal/counting"
 	"byzcount/internal/expt"
 	"byzcount/internal/graph"
+	"byzcount/internal/perf"
 	"byzcount/internal/sim"
 	"byzcount/internal/xrand"
 )
@@ -27,8 +28,12 @@ func benchExperiment(b *testing.B, id string) {
 
 func benchExperimentCfg(b *testing.B, id string, parallel int) {
 	b.Helper()
+	// The seed is pinned: every iteration regenerates the identical
+	// table, so ns/op measures one workload and is comparable across
+	// runs and commits (a seed varying with i would average over
+	// different graphs and adversary draws).
 	for i := 0; i < b.N; i++ {
-		cfg := expt.Config{Seed: uint64(42 + i), Trials: 1, Quick: true, Parallel: parallel}
+		cfg := expt.Config{Seed: 42, Trials: 1, Quick: true, Parallel: parallel}
 		tbl, err := expt.Run(id, cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -65,7 +70,7 @@ func BenchmarkE15(b *testing.B) { benchExperiment(b, "E15") } // join/leave chur
 func benchExperimentParallel(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		cfg := expt.Config{Seed: uint64(42 + i), Trials: 3, Quick: true,
+		cfg := expt.Config{Seed: 42, Trials: 3, Quick: true,
 			Parallel: runtime.GOMAXPROCS(0)}
 		if _, err := expt.Run(id, cfg); err != nil {
 			b.Fatal(err)
@@ -76,7 +81,7 @@ func benchExperimentParallel(b *testing.B, id string) {
 func benchExperimentSerial3(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		cfg := expt.Config{Seed: uint64(42 + i), Trials: 3, Quick: true, Parallel: 1}
+		cfg := expt.Config{Seed: 42, Trials: 3, Quick: true, Parallel: 1}
 		if _, err := expt.Run(id, cfg); err != nil {
 			b.Fatal(err)
 		}
@@ -132,42 +137,27 @@ func BenchmarkTreeLikeCheck(b *testing.B) {
 	}
 }
 
-// floodBenchProc is a minimal engine-throughput workload: every node
-// broadcasts a small payload every round.
-type floodBenchProc struct{ rounds int }
-
-type benchPayload struct{}
-
-func (benchPayload) SizeBits() int { return 64 }
-
-func (f *floodBenchProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
-	f.rounds++
-	return env.Broadcast(benchPayload{})
-}
-func (f *floodBenchProc) Halted() bool { return false }
-
+// benchEngineRoundThroughput measures steady-state round throughput on
+// the shared flood workload (perf.NewFloodEngine — the same workload
+// the BENCH.json trajectory records). The warm-up run grows every
+// scratch buffer and inbox slab to its high-water mark before the timer
+// starts, so allocs/op reports the steady state: 0.
 func benchEngineRoundThroughput(b *testing.B, workers int) {
-	rng := xrand.New(4)
-	g, err := graph.HND(1024, 8, rng)
+	eng, err := perf.NewFloodEngine(1024, 8, workers)
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng := sim.NewEngine(g, 5)
-	eng.SetParallelism(workers)
-	procs := make([]sim.Proc, g.N())
-	for v := range procs {
-		procs[v] = &floodBenchProc{}
-	}
-	if err := eng.Attach(procs); err != nil {
+	if _, err := eng.Run(64); err != nil {
 		b.Fatal(err)
 	}
+	msgsBefore := eng.Metrics().Messages
 	b.ReportAllocs()
 	b.ResetTimer()
 	if _, err := eng.Run(b.N); err != nil {
 		b.Fatal(err)
 	}
 	b.StopTimer()
-	msgs := eng.Metrics().Messages
+	msgs := eng.Metrics().Messages - msgsBefore
 	if b.N > 0 {
 		b.ReportMetric(float64(msgs)/float64(b.N), "msgs/round")
 		elapsed := b.Elapsed().Seconds()

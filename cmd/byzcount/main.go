@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"byzcount/internal/byzantine"
 	"byzcount/internal/counting"
 	"byzcount/internal/expt"
 	"byzcount/internal/graph"
+	"byzcount/internal/perf"
 	"byzcount/internal/report"
 	"byzcount/internal/sim"
 	"byzcount/internal/stats"
@@ -51,6 +53,8 @@ func run(args []string) error {
 		return exptCmd(args[1:], true)
 	case "run":
 		return runCmd(args[1:])
+	case "bench":
+		return benchCmd(args[1:])
 	case "graph":
 		return graphCmd(args[1:])
 	case "help", "-h", "--help":
@@ -68,11 +72,13 @@ func usage() {
   byzcount expt <id> [flags]            run one experiment and print its table
   byzcount all [flags]                  run every experiment
   byzcount run [flags]                  run a single protocol instance
+  byzcount bench [flags]                run the perf suite and write BENCH.json
   byzcount graph [flags]                generate a substrate and print its statistics
 flags for expt/all: -seed N  -trials N  -quick  -parallel N
 flags for run:      -proto congest|local|geometric|support  -n N  -d D
                     -byz B  -attack spam|silent|fake  -seed N  -parallel N
 (-parallel defaults to GOMAXPROCS; outputs are identical for every value)
+flags for bench:    -quick  -out FILE  -filter SUBSTR  -parallel N
 flags for graph:    -kind hnd|regular|smallworld|ring|torus|dumbbell  -n N  -d D
                     -seed N  -out FILE`)
 }
@@ -114,6 +120,58 @@ func exptCmd(args []string, all bool) error {
 		}
 	}
 	return nil
+}
+
+// benchCmd runs the standard perf suite (engine micro-benchmarks plus
+// the E1-E15 quick regenerations), prints one line per benchmark, and
+// records the machine-readable trajectory in BENCH.json — the artifact
+// CI archives on every run so performance changes leave a trace.
+func benchCmd(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shrunken iteration budget (CI smoke)")
+	out := fs.String("out", "BENCH.json", "write the JSON record here (empty disables)")
+	filter := fs.String("filter", "", "only run benchmarks whose name contains this substring")
+	parallel := fs.Int("parallel", 8, "worker count for the parallel engine benchmark")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite := perf.Suite(perf.SuiteConfig{Quick: *quick, Parallel: *parallel, Filter: *filter})
+	if len(suite) == 0 {
+		return fmt.Errorf("no benchmarks match filter %q", *filter)
+	}
+	rec := perf.NewRecord(*quick)
+	start := time.Now()
+	fmt.Printf("%-40s %14s %12s %12s %14s %14s\n",
+		"benchmark", "ns/op", "B/op", "allocs/op", "msgs/s", "rounds/s")
+	for _, b := range suite {
+		res, err := b.Measure()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-40s %14.0f %12.0f %12.1f %14s %14s\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp,
+			rate(res.Metrics, "msgs_per_sec"), rate(res.Metrics, "rounds_per_sec"))
+		rec.Results = append(rec.Results, res)
+	}
+	rec.WallSecs = time.Since(start).Seconds()
+	fmt.Printf("done: %d benchmarks in %.1fs (git %s, GOMAXPROCS %d)\n",
+		len(rec.Results), rec.WallSecs, rec.GitSHA, rec.GOMAXPROCS)
+	if *out != "" {
+		if err := rec.WriteFile(*out); err != nil {
+			return err
+		}
+		fmt.Printf("record written to %s\n", *out)
+	}
+	return nil
+}
+
+// rate formats an optional metric for the bench table.
+func rate(metrics map[string]float64, key string) string {
+	v, ok := metrics[key]
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.3g", v)
 }
 
 func graphCmd(args []string) error {

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"byzcount/internal/perf"
 )
 
 func TestRunNoArgs(t *testing.T) {
@@ -82,6 +84,32 @@ func TestRunProtocolSupport(t *testing.T) {
 func TestRunUnknownProtocol(t *testing.T) {
 	if err := run([]string{"run", "-proto", "bogus"}); err == nil {
 		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestBenchWritesRecord(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run([]string{"bench", "-quick", "-filter", "engine/flood/serial", "-out", out}); err != nil {
+		t.Fatalf("bench failed: %v", err)
+	}
+	rec, err := perf.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Results) != 1 || rec.Results[0].Name != "engine/flood/serial/n=1024" {
+		t.Errorf("unexpected results: %+v", rec.Results)
+	}
+	if rec.Results[0].NsPerOp <= 0 || rec.Results[0].Metrics["msgs_per_sec"] <= 0 {
+		t.Errorf("degenerate measurement: %+v", rec.Results[0])
+	}
+	if !rec.Quick {
+		t.Error("quick flag not recorded")
+	}
+}
+
+func TestBenchRejectsEmptyFilter(t *testing.T) {
+	if err := run([]string{"bench", "-quick", "-filter", "no-such-benchmark"}); err == nil {
+		t.Fatal("filter matching nothing accepted")
 	}
 }
 

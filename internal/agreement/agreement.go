@@ -97,7 +97,7 @@ func (p *Proc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
 		return nil
 	}
 
-	var out []sim.Outgoing
+	out := env.Scratch()
 	switch {
 	case offset == 0:
 		// Launch fresh tokens carrying the current value.
@@ -184,7 +184,7 @@ func (f *ValueFlipper) Halted() bool { return false }
 // Step forwards flipped tokens and injects Extra tokens of the preferred
 // value each round.
 func (f *ValueFlipper) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
-	var out []sim.Outgoing
+	out := env.Scratch()
 	for _, m := range in {
 		if tok, ok := m.Payload.(Token); ok {
 			flipped := Token{Value: 1 - min(tok.Value, 1)}

@@ -89,14 +89,14 @@ func (p *LeaderProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outg
 		p.done = true
 		return nil
 	}
-	var out []sim.Outgoing
+	out := env.Scratch()
 	if round == 0 {
 		prob := p.params.C / p.params.NHat
 		if env.Rand.Bernoulli(prob) {
 			p.candidate = true
 			p.leader = env.ID
 			p.hasLeader = true
-			out = append(out, env.Broadcast(Nomination{Candidate: env.ID})...)
+			out = env.AppendBroadcast(out, Nomination{Candidate: env.ID})
 		}
 		return out
 	}
@@ -113,7 +113,7 @@ func (p *LeaderProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outg
 		}
 	}
 	if improved && round < p.params.FloodRounds {
-		out = append(out, env.Broadcast(Nomination{Candidate: p.leader})...)
+		out = env.AppendBroadcast(out, Nomination{Candidate: p.leader})
 	}
 	if round == p.params.FloodRounds {
 		p.done = true

@@ -117,7 +117,7 @@ func (t *TreeCountInflater) Halted() bool { return false }
 // Step joins the BFS tree normally but convergecasts Inflation instead of
 // a truthful subtree count.
 func (t *TreeCountInflater) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
-	var out []sim.Outgoing
+	out := env.Scratch()
 	for _, m := range in {
 		switch msg := m.Payload.(type) {
 		case counting.TreeJoin:
@@ -126,12 +126,12 @@ func (t *TreeCountInflater) Step(env *sim.Env, round int, in []sim.Incoming) []s
 				t.depth = msg.Depth + 1
 				t.parent = m.FromID
 				t.hasParent = true
-				out = append(out, env.Broadcast(counting.TreeJoin{Depth: t.depth})...)
-				out = append(out, env.Broadcast(counting.TreeParent{Parent: m.FromID})...)
+				out = env.AppendBroadcast(out, counting.TreeJoin{Depth: t.depth})
+				out = env.AppendBroadcast(out, counting.TreeParent{Parent: m.FromID})
 			}
 		case counting.TreeTotal:
 			// Forward so the poisoned total still floods everywhere.
-			out = append(out, env.Broadcast(msg)...)
+			out = env.AppendBroadcast(out, msg)
 		}
 	}
 	if t.joined && t.hasParent && !t.reported {

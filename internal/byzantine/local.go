@@ -285,7 +285,7 @@ func (s *SplitBrainLocal) Step(env *sim.Env, round int, in []sim.Incoming) []sim
 	}
 	sealA := counting.SealRecord{Node: env.ID, Neighbors: append(append([]sim.NodeID(nil), base...), sim.NodeID(s.rng.Uint64()))}
 	sealB := counting.SealRecord{Node: env.ID, Neighbors: append(append([]sim.NodeID(nil), base...), sim.NodeID(s.rng.Uint64()))}
-	out := make([]sim.Outgoing, 0, len(env.Neighbors))
+	out := env.Scratch()
 	for k, w := range env.Neighbors {
 		seal := sealA
 		if k%2 == 1 {

@@ -259,13 +259,13 @@ func (p *TreeCountProc) Halted() bool { return p.decided }
 // Step implements the three waves: join flood, parent announcements +
 // count convergecast, and total flood.
 func (p *TreeCountProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
-	var out []sim.Outgoing
+	out := env.Scratch()
 
 	if p.isRoot && !p.joined {
 		p.joined = true
 		p.depth = 0
 		p.childDeadline = round + 2
-		out = append(out, env.Broadcast(TreeJoin{Depth: 0})...)
+		out = env.AppendBroadcast(out, TreeJoin{Depth: 0})
 	}
 
 	for _, m := range in {
@@ -277,8 +277,8 @@ func (p *TreeCountProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.O
 				p.parent = m.FromID
 				p.hasParent = true
 				p.childDeadline = round + 2
-				out = append(out, env.Broadcast(TreeJoin{Depth: p.depth})...)
-				out = append(out, env.Broadcast(TreeParent{Parent: m.FromID})...)
+				out = env.AppendBroadcast(out, TreeJoin{Depth: p.depth})
+				out = env.AppendBroadcast(out, TreeParent{Parent: m.FromID})
 			}
 		case TreeParent:
 			if msg.Parent == env.ID {
@@ -293,7 +293,7 @@ func (p *TreeCountProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.O
 				p.total = msg.Total
 				p.decided = true
 				p.decRound = round
-				out = append(out, env.Broadcast(msg)...)
+				out = env.AppendBroadcast(out, msg)
 			}
 		}
 	}
@@ -318,7 +318,7 @@ func (p *TreeCountProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.O
 			p.total = sum
 			p.decided = true
 			p.decRound = round
-			out = append(out, env.Broadcast(TreeTotal{Total: sum})...)
+			out = env.AppendBroadcast(out, TreeTotal{Total: sum})
 		}
 	}
 	return out

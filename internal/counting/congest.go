@@ -128,7 +128,9 @@ func (c *CongestProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Out
 		}
 	}
 
-	var out []sim.Outgoing
+	// out is the env's reusable scratch buffer: building the round's
+	// output appends into it and allocates nothing once warm.
+	out := env.Scratch()
 
 	beaconWindowEnd := i + 2 // offsets 0..i+1 send beacons; receipt through i+2
 
@@ -143,7 +145,7 @@ func (c *CongestProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Out
 		if env.Rand.Bernoulli(p) {
 			c.spSet = true
 			c.sp = []sim.NodeID{env.ID}
-			out = append(out, env.Broadcast(Beacon{Origin: env.ID})...)
+			out = env.AppendBroadcast(out, Beacon{Origin: env.ID})
 		}
 
 	case loc.Offset <= beaconWindowEnd:
@@ -156,7 +158,7 @@ func (c *CongestProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Out
 			path = append(path, fromID)
 			fwd := Beacon{Origin: b.Origin, Path: path}
 			if loc.Offset <= i+1 {
-				out = append(out, env.Broadcast(fwd)...)
+				out = env.AppendBroadcast(out, fwd)
 			}
 			if !c.spSet && c.acceptable(path, suffix) {
 				c.spSet = true
@@ -178,7 +180,7 @@ func (c *CongestProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Out
 			c.receivedContinue = false
 			c.forwardedContinue = false
 			if !c.decided {
-				out = append(out, env.Broadcast(Continue{})...)
+				out = env.AppendBroadcast(out, Continue{})
 			}
 		}
 
@@ -188,7 +190,7 @@ func (c *CongestProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Out
 			c.receivedContinue = true
 			if !c.forwardedContinue && loc.Offset < 2*i+4 {
 				c.forwardedContinue = true
-				out = append(out, env.Broadcast(Continue{})...)
+				out = env.AppendBroadcast(out, Continue{})
 			}
 		}
 		if loc.Offset == 2*i+4 {

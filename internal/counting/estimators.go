@@ -200,7 +200,7 @@ func (p *ReturnWalkProc) Halted() bool { return false }
 
 // Step forwards foreign tokens and manages the node's own walk.
 func (p *ReturnWalkProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
-	var out []sim.Outgoing
+	out := env.Scratch()
 	for _, m := range in {
 		tok, ok := m.Payload.(WalkToken)
 		if !ok {

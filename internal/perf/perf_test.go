@@ -1,0 +1,153 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMeasureFloodSteadyStateAllocFree: the serial flood benchmark —
+// the workload BENCH.json records as engine/flood/serial — must report
+// zero steady-state allocations per round after its warm-up.
+func TestMeasureFloodSteadyStateAllocFree(t *testing.T) {
+	b := floodBenchmark("engine/flood/serial/test", 256, 8, 1, 20*time.Millisecond)
+	// Warm past the next MessagesByRound capacity boundary (2048): the
+	// calibration ladder adds at most 255 rounds, so every timed run
+	// stays within reserved capacity and must allocate nothing at all.
+	b.Warmup = 1300
+	b.MaxIters = 128
+	res, err := b.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllocsPerOp != 0 {
+		t.Errorf("serial flood allocates in steady state: %.2f allocs/round, want 0", res.AllocsPerOp)
+	}
+	if res.Metrics["msgs_per_sec"] <= 0 || res.Metrics["rounds_per_sec"] <= 0 {
+		t.Errorf("rate metrics missing: %+v", res.Metrics)
+	}
+}
+
+// TestMeasureCalibrates: the harness doubles iterations until the
+// timed run meets MinTime.
+func TestMeasureCalibrates(t *testing.T) {
+	calls := []int{}
+	b := Benchmark{
+		Name:    "calib",
+		MinTime: 20 * time.Millisecond,
+		Setup: func() (func(int) (Totals, error), error) {
+			return func(n int) (Totals, error) {
+				calls = append(calls, n)
+				time.Sleep(time.Duration(n) * time.Millisecond)
+				return Totals{}, nil
+			}, nil
+		},
+	}
+	res, err := b.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 16 {
+		t.Errorf("calibration stopped at %d iterations (calls %v), want >= 16", res.Iterations, calls)
+	}
+	if res.NsPerOp < float64(time.Millisecond.Nanoseconds()) {
+		t.Errorf("ns/op %.0f below the 1ms floor of the workload", res.NsPerOp)
+	}
+}
+
+// TestSuiteShape: the suite covers the engine micro-benchmarks and all
+// fifteen experiments, names are unique, and the filter selects by
+// substring.
+func TestSuiteShape(t *testing.T) {
+	suite := Suite(SuiteConfig{Quick: true})
+	if len(suite) != 4+15 {
+		t.Fatalf("suite has %d benchmarks, want 19", len(suite))
+	}
+	seen := map[string]bool{}
+	experiments := 0
+	for _, b := range suite {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if strings.HasPrefix(b.Name, "expt/") {
+			experiments++
+			if b.MaxIters != 1 {
+				t.Errorf("%s: quick experiment MaxIters = %d, want 1", b.Name, b.MaxIters)
+			}
+		}
+	}
+	if experiments != 15 {
+		t.Errorf("suite has %d experiment benchmarks, want 15", experiments)
+	}
+	if !seen["engine/flood/serial/n=1024"] {
+		t.Error("suite is missing engine/flood/serial/n=1024")
+	}
+	filtered := Suite(SuiteConfig{Quick: true, Filter: "engine/flood"})
+	if len(filtered) != 3 {
+		t.Errorf("filter engine/flood kept %d benchmarks, want 3", len(filtered))
+	}
+}
+
+// TestExperimentBenchmarkRuns: one quick experiment regeneration goes
+// end to end through the harness.
+func TestExperimentBenchmarkRuns(t *testing.T) {
+	res, err := experimentBenchmark("E8", true).Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 {
+		t.Errorf("quick experiment ran %d iterations, want 1", res.Iterations)
+	}
+	if res.NsPerOp <= 0 {
+		t.Errorf("ns/op %.0f, want > 0", res.NsPerOp)
+	}
+}
+
+// TestRecordRoundTrip: BENCH.json writes, reads back, and validates.
+func TestRecordRoundTrip(t *testing.T) {
+	rec := NewRecord(true)
+	if rec.Schema != Schema {
+		t.Fatalf("schema %q", rec.Schema)
+	}
+	if rec.GOMAXPROCS < 1 || rec.GoVersion == "" || rec.StartedAt == "" {
+		t.Fatalf("provenance incomplete: %+v", rec)
+	}
+	rec.Results = append(rec.Results,
+		Result{Name: "b", NsPerOp: 2, Iterations: 1},
+		Result{Name: "a", NsPerOp: 1, Iterations: 1, Metrics: map[string]float64{"msgs_per_sec": 5}},
+	)
+	rec.SortResults()
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 2 || got.Results[0].Name != "a" {
+		t.Errorf("round trip mangled results: %+v", got.Results)
+	}
+	if r := got.Find("a"); r == nil || r.Metrics["msgs_per_sec"] != 5 {
+		t.Errorf("Find(a) = %+v", r)
+	}
+	if r := got.Find("missing"); r != nil {
+		t.Errorf("Find(missing) = %+v, want nil", r)
+	}
+}
+
+// TestReadFileRejectsWrongSchema guards the CI consumer against stale
+// or foreign files.
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	rec := NewRecord(false)
+	rec.Schema = "other/v0"
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}

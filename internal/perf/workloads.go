@@ -1,0 +1,202 @@
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"byzcount/internal/counting"
+	"byzcount/internal/expt"
+	"byzcount/internal/graph"
+	"byzcount/internal/sim"
+	"byzcount/internal/xrand"
+)
+
+// SuiteConfig selects and scales the standard suite.
+type SuiteConfig struct {
+	// Quick shrinks the iteration budget for CI smoke runs: engine
+	// micro-benchmarks time for ~150ms and each experiment regenerates
+	// its table exactly once.
+	Quick bool
+	// Parallel is the worker count of the parallel engine benchmark
+	// (default 8, matching the bench_test.go pinned variant).
+	Parallel int
+	// Filter, when non-empty, keeps only benchmarks whose name contains
+	// it as a substring.
+	Filter string
+}
+
+// FloodProc is the minimal engine-throughput workload: every node
+// broadcasts a small payload every round. Exported so the testing.B
+// benchmarks and the alloc-regression guards exercise the exact
+// workload the BENCH.json trajectory records.
+type FloodProc struct{}
+
+// FloodPayload is the flood workload's constant 64-bit payload.
+type FloodPayload struct{}
+
+// SizeBits reports the payload size.
+func (FloodPayload) SizeBits() int { return 64 }
+
+// Step broadcasts the payload on every incident edge.
+func (*FloodProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
+	return env.Broadcast(FloodPayload{})
+}
+
+// Halted is always false.
+func (*FloodProc) Halted() bool { return false }
+
+// NewFloodEngine builds the flood workload over H(n,d): one engine,
+// one FloodProc per vertex, the given worker count.
+func NewFloodEngine(n, d, workers int) (*sim.Engine, error) {
+	g, err := graph.HND(n, d, xrand.New(4))
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(g, 5)
+	eng.SetParallelism(workers)
+	procs := make([]sim.Proc, g.N())
+	for v := range procs {
+		procs[v] = &FloodProc{}
+	}
+	if err := eng.Attach(procs); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// floodBenchmark measures engine rounds/sec and msgs/sec on the flood
+// workload; one iteration is one round. Warmup puts every arena and
+// scratch buffer at its high-water mark, so allocs_per_op records the
+// steady state (0 for the serial engine; the parallel engine amortizes
+// its constant per-Run pool startup across the calibrated rounds).
+func floodBenchmark(name string, n, d, workers int, minTime time.Duration) Benchmark {
+	return Benchmark{
+		Name:    name,
+		Warmup:  64,
+		MinTime: minTime,
+		Setup: func() (func(int) (Totals, error), error) {
+			eng, err := NewFloodEngine(n, d, workers)
+			if err != nil {
+				return nil, err
+			}
+			return func(iters int) (Totals, error) {
+				before := eng.Metrics().Messages
+				if _, err := eng.Run(iters); err != nil {
+					return Totals{}, err
+				}
+				return Totals{
+					Msgs:   eng.Metrics().Messages - before,
+					Rounds: int64(iters),
+				}, nil
+			}, nil
+		},
+	}
+}
+
+// congestBenchmark measures a full benign CONGEST counting run
+// (engine construction included); one iteration is one complete run.
+func congestBenchmark(minTime time.Duration) Benchmark {
+	return Benchmark{
+		Name:    "protocol/congest-benign/n=256",
+		MinTime: minTime,
+		Setup: func() (func(int) (Totals, error), error) {
+			g, err := graph.HND(256, 8, xrand.New(6))
+			if err != nil {
+				return nil, err
+			}
+			params := counting.DefaultCongestParams(8)
+			maxRounds := params.Schedule.RoundsThroughPhase(params.MaxPhase + 1)
+			return func(iters int) (Totals, error) {
+				var tot Totals
+				for i := 0; i < iters; i++ {
+					eng := sim.NewEngine(g, uint64(i))
+					procs := make([]sim.Proc, g.N())
+					for v := range procs {
+						procs[v] = counting.NewCongestProc(params)
+					}
+					if err := eng.Attach(procs); err != nil {
+						return Totals{}, err
+					}
+					rounds, err := eng.Run(maxRounds)
+					if err != nil {
+						return Totals{}, err
+					}
+					tot.Msgs += eng.Metrics().Messages
+					tot.Rounds += int64(rounds)
+				}
+				return tot, nil
+			}, nil
+		},
+	}
+}
+
+// experimentBenchmark regenerates one experiment table per iteration,
+// with the pinned seed 42 so successive iterations measure the same
+// workload and ns/op is comparable across runs and commits.
+func experimentBenchmark(id string, quick bool) Benchmark {
+	b := Benchmark{
+		Name:    "expt/" + id,
+		MinTime: 2 * time.Second,
+		Setup: func() (func(int) (Totals, error), error) {
+			return func(iters int) (Totals, error) {
+				for i := 0; i < iters; i++ {
+					cfg := expt.Config{Seed: 42, Trials: 1, Quick: true, Parallel: 1}
+					tbl, err := expt.Run(id, cfg)
+					if err != nil {
+						return Totals{}, err
+					}
+					if len(tbl.Rows) == 0 {
+						return Totals{}, fmt.Errorf("experiment %s produced an empty table", id)
+					}
+				}
+				return Totals{}, nil
+			}, nil
+		},
+	}
+	if quick {
+		b.MaxIters = 1
+	}
+	return b
+}
+
+// Suite returns the standard benchmark suite: the engine flood
+// micro-benchmarks (serial, pinned-8-worker, and GOMAXPROCS-worker
+// parallel), a full benign CONGEST protocol run, and the E1-E15 quick
+// experiment regenerations.
+func Suite(cfg SuiteConfig) []Benchmark {
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = 8
+	}
+	micro := time.Second
+	if cfg.Quick {
+		micro = 150 * time.Millisecond
+	}
+	benchmarks := []Benchmark{
+		floodBenchmark("engine/flood/serial/n=1024", 1024, 8, 1, micro),
+		floodBenchmark(fmt.Sprintf("engine/flood/parallel=%d/n=1024", workers), 1024, 8, workers, micro),
+		floodBenchmark(fmt.Sprintf("engine/flood/gomaxprocs=%d/n=1024", runtime.GOMAXPROCS(0)),
+			1024, 8, runtime.GOMAXPROCS(0), micro),
+		congestBenchmark(micro),
+	}
+	for _, id := range expt.IDs() {
+		benchmarks = append(benchmarks, experimentBenchmark(id, cfg.Quick))
+	}
+	if cfg.Filter == "" {
+		return benchmarks
+	}
+	kept := benchmarks[:0]
+	for _, b := range benchmarks {
+		if containsFold(b.Name, cfg.Filter) {
+			kept = append(kept, b)
+		}
+	}
+	return kept
+}
+
+// containsFold is a case-insensitive substring test.
+func containsFold(s, sub string) bool {
+	return strings.Contains(strings.ToLower(s), strings.ToLower(sub))
+}

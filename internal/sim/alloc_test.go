@@ -1,0 +1,79 @@
+package sim_test
+
+// Allocation-regression guards for the steady-state round loop: after
+// warm-up (scratch buffers and inbox slabs grown to their high-water
+// marks, MessagesByRound within reserved capacity), the flood workload
+// must execute rounds without a single heap allocation — serially and
+// under the sharded parallel engine. CI runs these under the
+// bench-smoke job; a failure means someone reintroduced a per-round or
+// per-vertex allocation into the hot path.
+//
+// The workload is perf.NewFloodEngine — the exact configuration the
+// BENCH.json trajectory records as engine/flood/*, so the gate guards
+// what the record reports.
+
+import (
+	"testing"
+
+	"byzcount/internal/perf"
+	"byzcount/internal/sim"
+)
+
+// warmFloodEngine returns the 1024-node flood engine warmed past the
+// next MessagesByRound capacity boundary: 1300 rounds leave the series
+// reserved through round 2048, so the ≤ 400 rounds the tests run next
+// append strictly within capacity and the measurements see no
+// amortized regrowth, only the round loop itself.
+func warmFloodEngine(t *testing.T, workers int) *sim.Engine {
+	t.Helper()
+	eng, err := perf.NewFloodEngine(1024, 8, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(1300); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestSteadyStateAllocsSerial: a warm serial round allocates nothing,
+// strictly.
+func TestSteadyStateAllocsSerial(t *testing.T) {
+	eng := warmFloodEngine(t, 1)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := eng.Run(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("serial steady-state round allocates: %.1f allocs/round, want 0", allocs)
+	}
+}
+
+// TestSteadyStateAllocsParallel: with SetParallelism(8), allocations
+// must not scale with the number of rounds executed. Each Run call pays
+// a constant pool-startup cost (one goroutine spawn per worker); the
+// rounds themselves must be allocation-free, which the test pins by
+// running two Run calls of different lengths and requiring identical
+// allocation counts.
+func TestSteadyStateAllocsParallel(t *testing.T) {
+	eng := warmFloodEngine(t, 8)
+	measure := func(rounds int) float64 {
+		return testing.AllocsPerRun(1, func() {
+			if _, err := eng.Run(rounds); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := measure(20)
+	long := measure(120)
+	if delta := long - short; delta != 0 {
+		t.Errorf("parallel rounds allocate: %d rounds cost %.0f allocs, %d rounds cost %.0f (delta %.0f, want 0)",
+			20, short, 120, long, delta)
+	}
+	// And the startup cost itself stays bounded: a handful of goroutine
+	// spawns, nowhere near one allocation per round.
+	if short >= 20 {
+		t.Errorf("pool startup costs %.0f allocs, which is >= 1 per round over 20 rounds", short)
+	}
+}

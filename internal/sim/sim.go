@@ -65,16 +65,42 @@ type Env struct {
 	// neighbor IDs is part of the model.
 	NeighborIDs []NodeID
 	Rand        *xrand.Rand
+
+	// scratch is the env's reusable outgoing buffer. Each vertex is
+	// stepped by exactly one goroutine per round, and the engine consumes
+	// the slice returned by Step before that vertex's next Step, so the
+	// buffer can be recycled round after round. After a Step returns, the
+	// engine adopts the returned slice back into scratch (keeping any
+	// growth), which is what makes steady-state sending allocation-free.
+	scratch []Outgoing
 }
 
-// Broadcast returns one Outgoing per incident edge carrying payload.
-// With parallel edges a neighbor receives one copy per edge, matching the
-// model where each edge is an independent channel.
-func (e *Env) Broadcast(payload Payload) []Outgoing {
-	out := make([]Outgoing, len(e.Neighbors))
-	for i, w := range e.Neighbors {
-		out[i] = Outgoing{To: w, Payload: payload}
+// Scratch returns the env's reusable outgoing buffer truncated to zero
+// length. Step implementations append into it (directly or via
+// AppendBroadcast) and return it; once the buffer has grown to the
+// workload's high-water mark, building the round's output allocates
+// nothing. The returned slice is engine-owned from the moment Step
+// returns until the process's next Step — processes must not retain it
+// across rounds or mix it with Broadcast in the same Step.
+func (e *Env) Scratch() []Outgoing { return e.scratch[:0] }
+
+// AppendBroadcast appends one Outgoing per incident edge carrying
+// payload to buf and returns the extended slice. With parallel edges a
+// neighbor receives one copy per edge, matching the model where each
+// edge is an independent channel.
+func (e *Env) AppendBroadcast(buf []Outgoing, payload Payload) []Outgoing {
+	for _, w := range e.Neighbors {
+		buf = append(buf, Outgoing{To: w, Payload: payload})
 	}
+	return buf
+}
+
+// Broadcast returns one Outgoing per incident edge carrying payload,
+// built in the env's scratch buffer (see Scratch for the ownership
+// rules): after the first round it performs no allocation.
+func (e *Env) Broadcast(payload Payload) []Outgoing {
+	out := e.AppendBroadcast(e.scratch[:0], payload)
+	e.scratch = out
 	return out
 }
 
@@ -82,6 +108,11 @@ func (e *Env) Broadcast(payload Payload) []Outgoing {
 // the messages delivered this round and returns the messages to send.
 // Halted processes are skipped (they neither receive nor send); once
 // Halted returns true it must remain true.
+//
+// Ownership: the slice returned by Step (and the inbox slice passed in)
+// belongs to the engine until the process's next Step. The engine
+// recycles returned slices as the vertex's future scratch buffer (see
+// Env.Scratch), so processes must not retain either across rounds.
 type Proc interface {
 	Step(env *Env, round int, in []Incoming) []Outgoing
 	Halted() bool
@@ -180,9 +211,14 @@ type Engine struct {
 
 	metrics Metrics
 
-	// double-buffered inboxes, indexed by vertex; the buffers are
-	// truncated, never freed, so steady-state rounds allocate nothing
-	// for delivery.
+	// The inbox arena: double-buffered per-vertex inbox slabs, indexed
+	// by vertex. cur holds the messages delivered this round, next
+	// collects the messages for the coming round; Run swaps them after
+	// every round and slabs are truncated, never freed, so each slab
+	// stays at its high-water capacity and steady-state delivery
+	// allocates nothing. Together with the Env scratch buffers on the
+	// send side this is what makes warm rounds allocation-free (see
+	// DESIGN.md, "Memory model").
 	cur, next [][]Incoming
 
 	// sortedAdj[v] is v's adjacency, deduplicated and sorted ascending.
@@ -199,7 +235,32 @@ type Engine struct {
 	isSeq   []bool         // membership mask for seq
 	ws      []*workerState // one per range worker, plus one for seq, plus [0] reused serially
 	acc     [][]routed     // per-sender outboxes (fallback rounds with Sequential procs)
+
+	// Persistent worker pool. Spawning goroutines per round allocates
+	// (closure + scheduler bookkeeping), which alone breaks the
+	// zero-allocs-per-round contract; instead Run starts len(ranges)+1
+	// workers once, parks them on their wake channels, and drives each
+	// round's step and merge phases by sending phase tokens. Channel
+	// sends of small scalars and WaitGroup operations allocate nothing,
+	// so a steady-state parallel round performs zero heap allocations.
+	// The pool lives exactly as long as one Run call (started after
+	// ensureState, stopped on return), so engines never leak goroutines.
+	wake   []chan poolPhase // one per worker; worker len(ranges) is the Sequential pass
+	poolWG sync.WaitGroup   // completion barrier for each dispatched phase
+	round  int              // round being executed, published via dispatch
+	pool   bool             // workers currently parked on wake
 }
+
+// poolPhase is a work token sent to pool workers.
+type poolPhase uint8
+
+const (
+	phaseStepBuckets  poolPhase = iota // step contiguous range into shard buckets
+	phaseStepScan                      // step range into per-vertex outboxes (Sequential fallback)
+	phaseMergeBuckets                  // merge this worker's destination shard from buckets
+	phaseMergeScan                     // merge this worker's destination range from outboxes
+	phaseExit                          // unwind the worker goroutine
+)
 
 // ErrSizeMismatch is returned when the number of attached processes does
 // not equal the number of graph vertices.
@@ -519,6 +580,9 @@ func (e *Engine) roundSerial(r int) bool {
 		ws.messages += msgs
 		ws.bits += totalBits
 		perNodeMax[v] = maxSent
+		if cap(out) > cap(e.envs[v].scratch) {
+			e.envs[v].scratch = out[:0]
+		}
 	}
 	return allHalted
 }
@@ -564,6 +628,9 @@ func (e *Engine) stepVertexBuckets(v, r int, ws *workerState) {
 				routed{to: int32(msg.To), from: int32(v), payload: msg.Payload})
 		}
 	}
+	if cap(out) > cap(e.envs[v].scratch) {
+		e.envs[v].scratch = out[:0]
+	}
 }
 
 // stepVertexInto steps one vertex, admitting its output into its private
@@ -578,134 +645,170 @@ func (e *Engine) stepVertexInto(v, r int, ws *workerState) {
 			e.acc[v] = append(e.acc[v], routed{to: int32(msg.To), from: int32(v), payload: msg.Payload})
 		}
 	}
+	if cap(out) > cap(e.envs[v].scratch) {
+		e.envs[v].scratch = out[:0]
+	}
+}
+
+// startPool parks len(ranges)+1 workers on their wake channels. Wake
+// channels are engine-owned and reused across Runs (recreated only when
+// the worker count changes), so restarting the pool costs one goroutine
+// spawn per worker and nothing per round.
+func (e *Engine) startPool() {
+	if e.pool {
+		return
+	}
+	w := len(e.ranges)
+	if len(e.wake) != w+1 {
+		e.wake = make([]chan poolPhase, w+1)
+		for i := range e.wake {
+			e.wake[i] = make(chan poolPhase, 1)
+		}
+	}
+	for i := 0; i <= w; i++ {
+		go e.poolWorker(i)
+	}
+	e.pool = true
+}
+
+// stopPool unwinds all pool workers and waits until they are gone.
+func (e *Engine) stopPool() {
+	if !e.pool {
+		return
+	}
+	e.dispatch(phaseExit)
+	e.pool = false
+}
+
+// dispatch publishes one phase to every worker and blocks until all have
+// completed it. The channel send publishes e.round and everything the
+// main goroutine wrote before the send; poolWG.Done/Wait publishes the
+// workers' writes back. Nothing in here allocates.
+func (e *Engine) dispatch(ph poolPhase) {
+	e.poolWG.Add(len(e.wake))
+	for _, ch := range e.wake {
+		ch <- ph
+	}
+	e.poolWG.Wait()
+}
+
+// poolWorker is the body of pool worker i. Workers 0..w-1 own vertex
+// range i during step phases and destination shard/range i during merge
+// phases; worker w steps the Sequential vertices in ascending vertex
+// order (the serial mutation order) and idles through merges.
+func (e *Engine) poolWorker(i int) {
+	w := len(e.ranges)
+	for ph := range e.wake[i] {
+		switch ph {
+		case phaseExit:
+			e.poolWG.Done()
+			return
+		case phaseStepBuckets:
+			if i < w {
+				ws := e.ws[i]
+				for v := e.ranges[i][0]; v < e.ranges[i][1]; v++ {
+					e.stepVertexBuckets(v, e.round, ws)
+				}
+			}
+		case phaseStepScan:
+			if i < w {
+				ws := e.ws[i]
+				for v := e.ranges[i][0]; v < e.ranges[i][1]; v++ {
+					if e.isSeq[v] {
+						continue
+					}
+					e.stepVertexInto(v, e.round, ws)
+				}
+			} else {
+				ws := e.ws[w]
+				for _, v := range e.seq {
+					e.stepVertexInto(v, e.round, ws)
+				}
+			}
+		case phaseMergeBuckets:
+			if i < w {
+				e.mergeShard(i)
+			}
+		case phaseMergeScan:
+			if i < w {
+				e.mergeRange(i)
+			}
+		}
+		e.poolWG.Done()
+	}
+}
+
+// mergeShard drains every worker's bucket for destination shard s, in
+// worker order — ascending sender order, so each inbox receives its
+// messages in exactly the serial delivery order.
+func (e *Engine) mergeShard(s int) {
+	for i := range e.ranges {
+		bucket := e.ws[i].buckets[s]
+		for _, m := range bucket {
+			e.next[m.to] = append(e.next[m.to], Incoming{
+				From:    int(m.from),
+				FromID:  e.ids[m.from],
+				Payload: m.payload,
+			})
+		}
+		e.ws[i].buckets[s] = bucket[:0]
+	}
+}
+
+// mergeRange scans all senders in ascending order and delivers the
+// messages addressed into destination range i (the Sequential fallback's
+// merge, where admitted messages sit in per-vertex outboxes).
+func (e *Engine) mergeRange(i int) {
+	lo, hi := e.ranges[i][0], e.ranges[i][1]
+	for v := 0; v < e.g.N(); v++ {
+		for _, m := range e.acc[v] {
+			to := int(m.to)
+			if to < lo || to >= hi {
+				continue
+			}
+			e.next[to] = append(e.next[to], Incoming{
+				From:    v,
+				FromID:  e.ids[v],
+				Payload: m.payload,
+			})
+		}
+	}
 }
 
 // roundParallel executes one round with the sharded worker pool:
 //
 //  1. Step phase — each worker steps a contiguous vertex range into
-//     per-vertex outboxes; Sequential processes run on one extra
-//     goroutine in ascending vertex order (the serial mutation order).
-//     Admission (neighbor check, edge-capacity budget) is sender-local,
-//     so each decision is identical to the serial engine's.
-//  2. Merge phase — each worker owns a contiguous destination range and
-//     scans senders in ascending order, so every inbox receives its
+//     per-(worker, destination-shard) buckets; Sequential processes run
+//     on one extra worker in ascending vertex order (the serial mutation
+//     order). Admission (neighbor check, edge-capacity budget) is
+//     sender-local, so each decision is identical to the serial engine's.
+//  2. Merge phase — each worker owns a contiguous destination shard and
+//     drains senders in ascending order, so every inbox receives its
 //     messages in exactly the serial delivery order.
 //
 // Metrics are shard-local sums/maxes flushed after the round. The net
-// effect is byte-for-byte equivalence with roundSerial.
+// effect is byte-for-byte equivalence with roundSerial, at zero heap
+// allocations per steady-state round (see the pool fields).
 func (e *Engine) roundParallel(r int) bool {
-	w := len(e.ranges)
+	e.round = r
 	for _, ws := range e.ws {
 		ws.allHalted = true
 	}
 	if len(e.seq) == 0 {
-		e.roundParallelBuckets(r, w)
+		e.dispatch(phaseStepBuckets)
+		e.dispatch(phaseMergeBuckets)
 	} else {
-		e.roundParallelScan(r, w)
+		e.dispatch(phaseStepScan)
+		e.dispatch(phaseMergeScan)
+		for v := range e.acc {
+			e.acc[v] = e.acc[v][:0]
+		}
 	}
 	allHalted := true
 	for _, ws := range e.ws {
 		allHalted = allHalted && ws.allHalted
 	}
 	return allHalted
-}
-
-// roundParallelBuckets is the fast path: no Sequential procs, so each
-// worker's contiguous range covers its vertices exactly, admitted
-// messages land in per-(worker, destination-shard) buckets, and the
-// merge worker for shard s walks workers 0..w-1 in order — ascending
-// sender order, touching only its own messages.
-func (e *Engine) roundParallelBuckets(r, w int) {
-	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			ws := e.ws[i]
-			for v := e.ranges[i][0]; v < e.ranges[i][1]; v++ {
-				e.stepVertexBuckets(v, r, ws)
-			}
-		}(i)
-	}
-	wg.Wait()
-
-	wg = sync.WaitGroup{}
-	for s := 0; s < w; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			for i := 0; i < w; i++ {
-				bucket := e.ws[i].buckets[s]
-				for _, m := range bucket {
-					e.next[m.to] = append(e.next[m.to], Incoming{
-						From:    int(m.from),
-						FromID:  e.ids[m.from],
-						Payload: m.payload,
-					})
-				}
-				e.ws[i].buckets[s] = bucket[:0]
-			}
-		}(s)
-	}
-	wg.Wait()
-}
-
-// roundParallelScan is the fallback when Sequential procs are attached:
-// their vertices are scattered across ranges and stepped on one extra
-// goroutine in ascending vertex order (the serial mutation order), so
-// messages go into per-vertex outboxes and each merge worker scans
-// senders in ascending order, keeping only its destination range.
-func (e *Engine) roundParallelScan(r, w int) {
-	n := e.g.N()
-	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			ws := e.ws[i]
-			for v := e.ranges[i][0]; v < e.ranges[i][1]; v++ {
-				if e.isSeq[v] {
-					continue
-				}
-				e.stepVertexInto(v, r, ws)
-			}
-		}(i)
-	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		ws := e.ws[w]
-		for _, v := range e.seq {
-			e.stepVertexInto(v, r, ws)
-		}
-	}()
-	wg.Wait()
-
-	wg = sync.WaitGroup{}
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			lo, hi := e.ranges[i][0], e.ranges[i][1]
-			for v := 0; v < n; v++ {
-				for _, m := range e.acc[v] {
-					to := int(m.to)
-					if to < lo || to >= hi {
-						continue
-					}
-					e.next[to] = append(e.next[to], Incoming{
-						From:    v,
-						FromID:  e.ids[v],
-						Payload: m.payload,
-					})
-				}
-			}
-		}(i)
-	}
-	wg.Wait()
-	for v := range e.acc {
-		e.acc[v] = e.acc[v][:0]
-	}
 }
 
 // Run executes up to maxRounds rounds and returns the number of rounds
@@ -719,7 +822,29 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 		return 0, errors.New("sim: negative maxRounds")
 	}
 	e.ensureState()
+	// Reserve the traffic series up front (rounded to a power of two,
+	// bounded so a huge maxRounds with an early stop condition cannot
+	// balloon memory) so appending inside the round loop never grows it
+	// — the last per-round allocation the engine would otherwise make.
+	const reserveCap = 1 << 16
+	reserve := maxRounds
+	if reserve > reserveCap {
+		reserve = reserveCap
+	}
+	if need := len(e.metrics.MessagesByRound) + reserve; cap(e.metrics.MessagesByRound) < need {
+		size := 1
+		for size < need {
+			size <<= 1
+		}
+		grown := make([]int64, len(e.metrics.MessagesByRound), size)
+		copy(grown, e.metrics.MessagesByRound)
+		e.metrics.MessagesByRound = grown
+	}
 	parallel := len(e.ranges) > 1
+	if parallel {
+		e.startPool()
+		defer e.stopPool()
+	}
 	for r := 0; r < maxRounds; r++ {
 		var allHalted bool
 		if parallel {
