@@ -137,16 +137,19 @@ func BenchmarkTreeLikeCheck(b *testing.B) {
 	}
 }
 
-// benchEngineRoundThroughput measures steady-state round throughput on
-// the shared flood workload (perf.NewFloodEngine — the same workload
-// the BENCH.json trajectory records). The warm-up run grows every
-// scratch buffer and inbox slab to its high-water mark before the timer
-// starts, so allocs/op reports the steady state: 0.
-func benchEngineRoundThroughput(b *testing.B, workers int) {
-	eng, err := perf.NewFloodEngine(1024, 8, workers)
-	if err != nil {
-		b.Fatal(err)
-	}
+// roundRunner is the surface shared by *sim.Engine and *dynamic.Runner
+// that the round-throughput benchmarks drive.
+type roundRunner interface {
+	Run(maxRounds int) (int, error)
+	Metrics() sim.Metrics
+}
+
+// benchRoundThroughput measures steady-state round throughput on eng.
+// The warm-up run grows every scratch buffer and inbox slab to its
+// high-water mark before the timer starts, so allocs/op reports the
+// steady state: 0.
+func benchRoundThroughput(b *testing.B, eng roundRunner) {
+	b.Helper()
 	if _, err := eng.Run(64); err != nil {
 		b.Fatal(err)
 	}
@@ -167,6 +170,17 @@ func benchEngineRoundThroughput(b *testing.B, workers int) {
 	}
 }
 
+// benchEngineRoundThroughput times the shared flood workload
+// (perf.NewFloodEngine — the same workload the BENCH.json trajectory
+// records as engine/flood/*).
+func benchEngineRoundThroughput(b *testing.B, workers int) {
+	eng, err := perf.NewFloodEngine(1024, 8, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRoundThroughput(b, eng)
+}
+
 func BenchmarkEngineRoundThroughput(b *testing.B) {
 	benchEngineRoundThroughput(b, 1)
 }
@@ -185,6 +199,31 @@ func BenchmarkEngineRoundThroughputParallel(b *testing.B) {
 // machines.
 func BenchmarkEngineRoundThroughputParallel8(b *testing.B) {
 	benchEngineRoundThroughput(b, 8)
+}
+
+// benchEngineChurnThroughput times the churn flood workload
+// (perf.NewChurnFloodEngine — the same workload BENCH.json records as
+// engine/churn-flood/*): every round two nodes leave, two join, the
+// cycles repair locally, and the touched vertices re-resolve their
+// neighborhoods against the bumped topology epoch. Allocs/op reports
+// the steady state: 0, exactly like the static flood.
+func benchEngineChurnThroughput(b *testing.B, workers int) {
+	run, err := perf.NewChurnFloodEngine(1024, 8, workers, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRoundThroughput(b, run)
+}
+
+func BenchmarkEngineChurnRoundThroughput(b *testing.B) {
+	benchEngineChurnThroughput(b, 1)
+}
+
+// BenchmarkEngineChurnRoundThroughputParallel8: the churn flood on the
+// sharded engine (bit-identical execution; membership changes apply
+// between rounds on the coordinator).
+func BenchmarkEngineChurnRoundThroughputParallel8(b *testing.B) {
+	benchEngineChurnThroughput(b, 8)
 }
 
 func BenchmarkCongestBenignRun(b *testing.B) {

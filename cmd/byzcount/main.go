@@ -8,6 +8,7 @@
 //	byzcount all [-seed N] [-trials N] [-quick]
 //	byzcount run [-proto congest|local|geometric|support] [-n N] [-d D]
 //	             [-byz B] [-attack spam|silent|fake] [-seed N]
+//	             [-churn K [-churn-stop R]]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"byzcount/internal/byzantine"
 	"byzcount/internal/counting"
+	"byzcount/internal/dynamic"
 	"byzcount/internal/expt"
 	"byzcount/internal/graph"
 	"byzcount/internal/perf"
@@ -77,7 +79,10 @@ func usage() {
 flags for expt/all: -seed N  -trials N  -quick  -parallel N
 flags for run:      -proto congest|local|geometric|support  -n N  -d D
                     -byz B  -attack spam|silent|fake  -seed N  -parallel N
+                    -churn K  -churn-stop R
 (-parallel defaults to GOMAXPROCS; outputs are identical for every value)
+(-churn K runs on the dynamically maintained H(n,d): K leaves + K joins
+ between every pair of rounds, quiescing at round R; benign runs only)
 flags for bench:    -quick  -out FILE  -filter SUBSTR  -parallel N
 flags for graph:    -kind hnd|regular|smallworld|ring|torus|dumbbell  -n N  -d D
                     -seed N  -out FILE`)
@@ -247,10 +252,17 @@ func runCmd(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"engine step-shard workers; runs are identical for every value")
+	churn := fs.Int("churn", 0,
+		"leaves and joins applied between every pair of rounds (0 = static network)")
+	churnStop := fs.Int("churn-stop", 0,
+		"disable churn from this round on (0 = churn for the whole run)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rng := xrand.New(*seed)
+	if *churn > 0 {
+		return runChurn(*proto, *n, *d, *byzN, *seed, *parallel, *churn, *churnStop, rng)
+	}
 	g, err := graph.HND(*n, *d, rng.Split("graph"))
 	if err != nil {
 		return err
@@ -268,22 +280,10 @@ func runCmd(args []string) error {
 	eng := sim.NewEngine(g, rng.Split("engine").Uint64())
 	eng.SetParallelism(*parallel)
 	procs := make([]sim.Proc, g.N())
-	var maxRounds int
 
-	var congestParams counting.CongestParams
-	var localParams counting.LocalParams
-	switch *proto {
-	case "congest":
-		congestParams = counting.DefaultCongestParams(*d)
-		congestParams.MaxPhase = 12
-		maxRounds = congestParams.Schedule.RoundsThroughPhase(congestParams.MaxPhase + 1)
-	case "local":
-		localParams = counting.DefaultLocalParams(*d + 2)
-		maxRounds = localParams.MaxRounds + 8
-	case "geometric", "support":
-		maxRounds = 50 * (*n)
-	default:
-		return fmt.Errorf("unknown protocol %q", *proto)
+	congestParams, localParams, maxRounds, err := protoParams(*proto, *n, *d)
+	if err != nil {
+		return err
 	}
 
 	var world *byzantine.FakeWorld
@@ -314,16 +314,7 @@ func runCmd(args []string) error {
 			}
 			continue
 		}
-		switch *proto {
-		case "congest":
-			procs[v] = counting.NewCongestProc(congestParams)
-		case "local":
-			procs[v] = counting.NewLocalProc(localParams)
-		case "geometric":
-			procs[v] = counting.NewGeometricProc(16)
-		case "support":
-			procs[v] = counting.NewSupportProc(32, 16)
-		}
+		procs[v] = benignProc(*proto, congestParams, localParams)
 	}
 	if err := eng.Attach(procs); err != nil {
 		return err
@@ -344,24 +335,110 @@ func runCmd(args []string) error {
 		return err
 	}
 
-	outcomes := counting.Outcomes(procs)
-	honest := byzantine.HonestMask(byz)
-	hist := stats.NewHistogram()
-	for _, e := range counting.DecidedEstimates(outcomes, honest) {
-		hist.Add(e)
-	}
 	m := eng.Metrics()
 	fmt.Printf("protocol=%s n=%d d=%d byz=%d attack=%s seed=%d\n",
 		*proto, *n, *d, *byzN, *attack, *seed)
 	fmt.Printf("rounds=%d messages=%d bits=%d max_msg_bits=%d\n",
 		rounds, m.Messages, m.Bits, m.MaxMsgBits)
-	fmt.Printf("decided_fraction=%.4f\n", counting.DecidedFraction(outcomes, honest))
+	printDecisions(counting.Outcomes(procs), byzantine.HonestMask(byz), *n, *d, m, "")
+	return nil
+}
+
+// protoParams resolves a protocol's parameter set and round budget —
+// shared by the static and churn run paths so tuning lives in one place.
+func protoParams(proto string, n, d int) (counting.CongestParams, counting.LocalParams, int, error) {
+	var congestParams counting.CongestParams
+	var localParams counting.LocalParams
+	var maxRounds int
+	switch proto {
+	case "congest":
+		congestParams = counting.DefaultCongestParams(d)
+		congestParams.MaxPhase = 12
+		maxRounds = congestParams.Schedule.RoundsThroughPhase(congestParams.MaxPhase + 1)
+	case "local":
+		localParams = counting.DefaultLocalParams(d + 2)
+		maxRounds = localParams.MaxRounds + 8
+	case "geometric", "support":
+		maxRounds = 50 * n
+	default:
+		return congestParams, localParams, 0, fmt.Errorf("unknown protocol %q", proto)
+	}
+	return congestParams, localParams, maxRounds, nil
+}
+
+// benignProc builds one honest process for the given protocol.
+func benignProc(proto string, congestParams counting.CongestParams, localParams counting.LocalParams) sim.Proc {
+	switch proto {
+	case "local":
+		return counting.NewLocalProc(localParams)
+	case "geometric":
+		return counting.NewGeometricProc(16)
+	case "support":
+		return counting.NewSupportProc(32, 16)
+	default:
+		return counting.NewCongestProc(congestParams)
+	}
+}
+
+// printDecisions renders the decision metrics and traffic series shared
+// by the static and churn run reports; note is appended to the
+// decided_fraction line.
+func printDecisions(outcomes []counting.Outcome, honest []bool, n, d int, m sim.Metrics, note string) {
+	hist := stats.NewHistogram()
+	for _, e := range counting.DecidedEstimates(outcomes, honest) {
+		hist.Add(e)
+	}
+	fmt.Printf("decided_fraction=%.4f%s\n", counting.DecidedFraction(outcomes, honest), note)
 	fmt.Printf("estimate histogram (value:count): %s\n", hist)
 	fmt.Printf("reference: log2(n)=%.2f log_%d(n)=%.2f\n",
-		counting.Log2(*n), *d, counting.LogD(*n, *d))
+		counting.Log2(n), d, counting.LogD(n, d))
 	if len(m.MessagesByRound) > 1 {
 		series := report.Downsample(report.Ints(m.MessagesByRound), 100)
 		fmt.Printf("traffic per round (downsampled): %s\n", report.Sparkline(series))
 	}
+}
+
+// runChurn executes one benign protocol instance on the dynamically
+// maintained H(n,d) topology under join/leave churn, on the unified
+// engine (so -parallel applies to churn runs exactly as to static ones).
+func runChurn(proto string, n, d, byzN int, seed uint64, parallel, churn, churnStop int, rng *xrand.Rand) error {
+	if byzN > 0 {
+		return fmt.Errorf("churn runs are benign-only for now; drop -byz or -churn")
+	}
+	net, err := dynamic.NewNetwork(n, d, rng.Split("net"))
+	if err != nil {
+		return err
+	}
+	congestParams, localParams, maxRounds, err := protoParams(proto, n, d)
+	if err != nil {
+		return err
+	}
+	factory := func(slot dynamic.Slot, id sim.NodeID) sim.Proc {
+		return benignProc(proto, congestParams, localParams)
+	}
+	run, err := dynamic.NewRunner(net,
+		dynamic.Churn{Leaves: churn, Joins: churn, StopAfter: churnStop, Mixed: true},
+		rng.Split("engine").Uint64(), factory)
+	if err != nil {
+		return err
+	}
+	run.SetParallelism(parallel)
+	rounds, err := run.Run(maxRounds)
+	if err != nil {
+		return err
+	}
+	if err := net.Validate(); err != nil {
+		return fmt.Errorf("topology invariant broken after run: %w", err)
+	}
+
+	procs, _ := run.AliveProcs()
+	m := run.Metrics()
+	fmt.Printf("protocol=%s n=%d d=%d churn=%d/round churn_stop=%d seed=%d\n",
+		proto, n, d, churn, churnStop, seed)
+	fmt.Printf("rounds=%d joined=%d left=%d alive=%d\n",
+		rounds, run.Joined(), run.Left(), net.NumAlive())
+	fmt.Printf("messages=%d bits=%d max_msg_bits=%d\n", m.Messages, m.Bits, m.MaxMsgBits)
+	printDecisions(counting.Outcomes(procs), byzantine.HonestMask(make([]bool, len(procs))),
+		n, d, m, " (over nodes alive at the end)")
 	return nil
 }

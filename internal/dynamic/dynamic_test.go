@@ -1,6 +1,8 @@
 package dynamic
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -8,6 +10,13 @@ import (
 	"byzcount/internal/sim"
 	"byzcount/internal/xrand"
 )
+
+// idleProc is a minimal never-halting process for churn-mechanics tests
+// that do not care about traffic.
+type idleProc struct{}
+
+func (idleProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing { return nil }
+func (idleProc) Halted() bool                                                   { return false }
 
 func mustNet(t *testing.T, n, d int, seed uint64) *Network {
 	t.Helper()
@@ -128,7 +137,7 @@ func TestChurnStormKeepsInvariants(t *testing.T) {
 			if isJoin {
 				net.Join(churn)
 			} else if net.NumAlive() > 3 {
-				if err := net.Leave(net.RandomAliveSlot(churn)); err != nil {
+				if err := net.Leave(net.RandomAlive(churn)); err != nil {
 					return false
 				}
 			}
@@ -148,11 +157,20 @@ func TestChurnStormKeepsInvariants(t *testing.T) {
 	}
 }
 
-func TestEngineZeroChurnMatchesStaticBehaviour(t *testing.T) {
+func mustRunner(t *testing.T, net *Network, churn Churn, seed uint64, factory ProcFactory) *Runner {
+	t.Helper()
+	r, err := NewRunner(net, churn, seed, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunnerZeroChurnMatchesStaticBehaviour(t *testing.T) {
 	const n, d = 128, 8
 	net := mustNet(t, n, d, 7)
 	params := counting.DefaultCongestParams(d)
-	eng := NewEngine(net, Churn{}, 8, func(slot Slot, id sim.NodeID) sim.Proc {
+	eng := mustRunner(t, net, Churn{}, 8, func(slot Slot, id sim.NodeID) sim.Proc {
 		return counting.NewCongestProc(params)
 	})
 	rounds, err := eng.Run(params.Schedule.RoundsThroughPhase(params.MaxPhase + 1))
@@ -181,7 +199,7 @@ func TestEngineZeroChurnMatchesStaticBehaviour(t *testing.T) {
 	}
 }
 
-func TestEngineUnderChurn(t *testing.T) {
+func TestRunnerUnderChurn(t *testing.T) {
 	const n, d = 128, 8
 	net := mustNet(t, n, d, 9)
 	params := counting.DefaultCongestParams(d)
@@ -189,7 +207,7 @@ func TestEngineUnderChurn(t *testing.T) {
 	// One leave and one join per round for the first 120 rounds, then
 	// quiesce: the size stays ~n while roughly the whole membership turns
 	// over once.
-	eng := NewEngine(net, Churn{Leaves: 1, Joins: 1, StopAfter: 120}, 10,
+	eng := mustRunner(t, net, Churn{Leaves: 1, Joins: 1, StopAfter: 120}, 10,
 		func(slot Slot, id sim.NodeID) sim.Proc {
 			return counting.NewCongestProc(params)
 		})
@@ -222,9 +240,9 @@ func TestEngineUnderChurn(t *testing.T) {
 	}
 }
 
-func TestEngineNegativeRounds(t *testing.T) {
+func TestRunnerNegativeRounds(t *testing.T) {
 	net := mustNet(t, 10, 4, 11)
-	eng := NewEngine(net, Churn{}, 12, func(slot Slot, id sim.NodeID) sim.Proc {
+	eng := mustRunner(t, net, Churn{}, 12, func(slot Slot, id sim.NodeID) sim.Proc {
 		return counting.NewCongestProc(counting.DefaultCongestParams(4))
 	})
 	if _, err := eng.Run(-1); err == nil {
@@ -232,13 +250,16 @@ func TestEngineNegativeRounds(t *testing.T) {
 	}
 }
 
-func TestEngineMetricsAndAccessors(t *testing.T) {
+func TestRunnerMetricsAndAccessors(t *testing.T) {
 	net := mustNet(t, 16, 4, 13)
-	eng := NewEngine(net, Churn{}, 14, func(slot Slot, id sim.NodeID) sim.Proc {
+	eng := mustRunner(t, net, Churn{}, 14, func(slot Slot, id sim.NodeID) sim.Proc {
 		return counting.NewCongestProc(counting.DefaultCongestParams(4))
 	})
 	if eng.Network() != net {
 		t.Error("Network accessor")
+	}
+	if eng.Engine() == nil || eng.Engine().Topology() != sim.Topology(net) {
+		t.Error("Engine/Topology accessor")
 	}
 	if eng.Proc(0) == nil || eng.Proc(-1) != nil || eng.Proc(99) != nil {
 		t.Error("Proc accessor")
@@ -248,5 +269,96 @@ func TestEngineMetricsAndAccessors(t *testing.T) {
 	}
 	if eng.Metrics().Messages == 0 {
 		t.Error("no messages recorded")
+	}
+}
+
+// TestRunnerParallelMatchesSerial: the same churn scenario must produce
+// identical joined/left counts, metrics, and outcomes for every engine
+// worker count — churn runs inherit the unified engine's determinism
+// contract (the full transcript pin lives in internal/sim/churn_test.go).
+func TestRunnerParallelMatchesSerial(t *testing.T) {
+	const n, d = 96, 8
+	params := counting.DefaultCongestParams(d)
+	params.MaxPhase = 6
+	run := func(workers int) (sim.Metrics, int, int, []counting.Outcome) {
+		net := mustNet(t, n, d, 21)
+		eng := mustRunner(t, net, Churn{Leaves: 2, Joins: 2, StopAfter: 60}, 22,
+			func(slot Slot, id sim.NodeID) sim.Proc {
+				return counting.NewCongestProc(params)
+			})
+		eng.SetParallelism(workers)
+		if _, err := eng.Run(params.Schedule.RoundsThroughPhase(params.MaxPhase + 1)); err != nil {
+			t.Fatal(err)
+		}
+		procs, _ := eng.AliveProcs()
+		return eng.Metrics(), eng.Joined(), eng.Left(), counting.Outcomes(procs)
+	}
+	wantM, wantJ, wantL, wantO := run(1)
+	if wantJ == 0 || wantL == 0 {
+		t.Fatal("churn did not happen")
+	}
+	for _, w := range []int{3, 8} {
+		gotM, gotJ, gotL, gotO := run(w)
+		if gotJ != wantJ || gotL != wantL {
+			t.Errorf("workers=%d: churn %d/%d != serial %d/%d", w, gotJ, gotL, wantJ, wantL)
+		}
+		if !reflect.DeepEqual(wantM, gotM) {
+			t.Errorf("workers=%d: metrics diverge:\nserial:   %+v\nparallel: %+v", w, wantM, gotM)
+		}
+		if !reflect.DeepEqual(wantO, gotO) {
+			t.Errorf("workers=%d: outcomes diverge", w)
+		}
+	}
+}
+
+// TestMixedChurnTurnsMembershipOver: under Churn.Mixed departures hit
+// uniformly random nodes, so a long balanced run touches most of the
+// slot table; the legacy derivation (pinned by E15's published tables)
+// restarts the per-event streams and keeps recycling the same few
+// slots. This pins both behaviors so neither regresses silently.
+func TestMixedChurnTurnsMembershipOver(t *testing.T) {
+	countDistinct := func(mixed bool) int {
+		churn := Churn{Leaves: 2, Joins: 2, Mixed: mixed}
+		net := mustNet(t, 64, 4, 17)
+		joinSlots := map[Slot]int{}
+		initial := true
+		eng := mustRunner(t, net, churn, 18, func(slot Slot, id sim.NodeID) sim.Proc {
+			if !initial {
+				joinSlots[slot]++
+			}
+			return idleProc{}
+		})
+		initial = false
+		if _, err := eng.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		if eng.Joined() != 200 {
+			t.Fatalf("mixed=%v: joined %d, want 200", mixed, eng.Joined())
+		}
+		return len(joinSlots)
+	}
+	legacy := countDistinct(false)
+	mixed := countDistinct(true)
+	if legacy > 8 {
+		t.Errorf("legacy churn touched %d distinct slots; the pinned degenerate behavior changed", legacy)
+	}
+	if mixed < 32 {
+		t.Errorf("mixed churn touched only %d of 64 slots over 200 joins, want real turnover", mixed)
+	}
+}
+
+// TestValidateErrorsNameNeighbors: a corrupted repair is reported with
+// the offending slot's neighbor list in the message.
+func TestValidateErrorsNameNeighbors(t *testing.T) {
+	net := mustNet(t, 8, 4, 15)
+	// Break cycle 0: point a successor somewhere its pred link disagrees.
+	s := 0
+	net.succ[0][s] = net.succ[0][net.succ[0][s]]
+	err := net.Validate()
+	if err == nil {
+		t.Fatal("corrupted network validated")
+	}
+	if !strings.Contains(err.Error(), "neighbors [") {
+		t.Errorf("error %q does not include the offending neighbor list", err)
 	}
 }

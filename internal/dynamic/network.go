@@ -1,8 +1,12 @@
-// Package dynamic provides a churn-capable network substrate and engine:
-// an H(n,d) topology maintained as d/2 Hamiltonian cycles under node
-// joins and leaves (the local O(1) repair of Law & Siu and the self-
-// healing expanders of Pandurangan & Trehan, both cited in Section 2),
-// plus a synchronous engine that re-evaluates neighborhoods every round.
+// Package dynamic provides the churn-capable network substrate: an
+// H(n,d) topology maintained as d/2 Hamiltonian cycles under node joins
+// and leaves (the local O(1) repair of Law & Siu and the self-healing
+// expanders of Pandurangan & Trehan, both cited in Section 2). The
+// Network implements sim.Topology, so churn runs execute on the unified
+// sim.Engine — with its deterministic parallelism, CONGEST budgeting,
+// and allocation-free steady state — rather than on a package-local
+// round loop; Runner wires the churn process in as the engine's
+// between-rounds hook.
 //
 // The paper's motivation is dynamic peer-to-peer networks ([3,4,5]) whose
 // protocols assume knowledge of log n even as nodes come and go; this
@@ -13,6 +17,7 @@ package dynamic
 import (
 	"fmt"
 
+	"byzcount/internal/sim"
 	"byzcount/internal/xrand"
 )
 
@@ -23,6 +28,8 @@ type Slot = int
 // Network is an H(n,d)-style topology under churn: d/2 circular
 // doubly-linked cycles over the alive slots. Every alive slot appears
 // exactly once in every cycle, so the (multigraph) degree is exactly d.
+// It implements sim.Topology: every Leave and Join bumps the epoch, and
+// the engine re-resolves neighborhoods against it.
 type Network struct {
 	d      int
 	succ   [][]Slot // succ[c][s]: successor of slot s in cycle c (-1 if dead)
@@ -30,7 +37,14 @@ type Network struct {
 	alive  []bool
 	free   []Slot
 	nAlive int
+	epoch  uint64
+	// slotEpoch[s] is the epoch at which s's neighborhood last changed —
+	// the per-slot dirty stamp behind sim.Topology.EpochOf, which keeps
+	// the engine's refresh cost proportional to the churn rate, not n.
+	slotEpoch []uint64
 }
+
+var _ sim.Topology = (*Network)(nil)
 
 // NewNetwork builds an initial network of n nodes with degree d (even,
 // >= 2; n >= 3) from the given random stream.
@@ -42,11 +56,12 @@ func NewNetwork(n, d int, rng *xrand.Rand) (*Network, error) {
 		return nil, fmt.Errorf("dynamic: need even d >= 2, got %d", d)
 	}
 	net := &Network{
-		d:      d,
-		succ:   make([][]Slot, d/2),
-		pred:   make([][]Slot, d/2),
-		alive:  make([]bool, n),
-		nAlive: n,
+		d:         d,
+		succ:      make([][]Slot, d/2),
+		pred:      make([][]Slot, d/2),
+		alive:     make([]bool, n),
+		nAlive:    n,
+		slotEpoch: make([]uint64, n),
 	}
 	for i := range net.alive {
 		net.alive[i] = true
@@ -76,17 +91,36 @@ func (net *Network) Slots() int { return len(net.alive) }
 // Alive reports whether slot s currently hosts a node.
 func (net *Network) Alive(s Slot) bool { return s >= 0 && s < len(net.alive) && net.alive[s] }
 
-// Neighbors returns the multiset of neighbors of s: its predecessor and
-// successor in every cycle (2 * d/2 = d entries, possibly repeating).
+// Epoch is bumped on every Leave and Join; the engine re-resolves
+// neighborhoods exactly when it changes.
+func (net *Network) Epoch() uint64 { return net.epoch }
+
+// EpochOf reports the epoch at which slot s's neighborhood last changed
+// (0 if never): the slot itself and, for every cycle, the slots whose
+// links a Leave repair or Join splice rewired.
+func (net *Network) EpochOf(s Slot) uint64 { return net.slotEpoch[s] }
+
+// AppendNeighbors appends the neighbor multiset of s — its predecessor
+// and successor in every cycle (2 * d/2 = d entries, possibly
+// repeating) — to buf and returns the extended slice. Dead slots append
+// nothing.
+func (net *Network) AppendNeighbors(s Slot, buf []int) []int {
+	if !net.Alive(s) {
+		return buf
+	}
+	for c := range net.succ {
+		buf = append(buf, net.pred[c][s], net.succ[c][s])
+	}
+	return buf
+}
+
+// Neighbors returns the neighbor multiset of s as a fresh slice (nil for
+// dead slots); the engine uses the allocation-free AppendNeighbors.
 func (net *Network) Neighbors(s Slot) []Slot {
 	if !net.Alive(s) {
 		return nil
 	}
-	out := make([]Slot, 0, net.d)
-	for c := range net.succ {
-		out = append(out, net.pred[c][s], net.succ[c][s])
-	}
-	return out
+	return net.AppendNeighbors(s, make([]Slot, 0, net.d))
 }
 
 // Leave removes slot s: in every cycle its predecessor is stitched
@@ -99,13 +133,17 @@ func (net *Network) Leave(s Slot) error {
 	if net.nAlive <= 3 {
 		return fmt.Errorf("dynamic: cannot shrink below 3 nodes")
 	}
+	net.epoch++
 	for c := range net.succ {
 		p, n := net.pred[c][s], net.succ[c][s]
 		net.succ[c][p] = n
 		net.pred[c][n] = p
 		net.succ[c][s] = -1
 		net.pred[c][s] = -1
+		net.slotEpoch[p] = net.epoch
+		net.slotEpoch[n] = net.epoch
 	}
+	net.slotEpoch[s] = net.epoch
 	net.alive[s] = false
 	net.free = append(net.free, s)
 	net.nAlive--
@@ -123,26 +161,31 @@ func (net *Network) Join(rng *xrand.Rand) Slot {
 	} else {
 		s = len(net.alive)
 		net.alive = append(net.alive, false)
+		net.slotEpoch = append(net.slotEpoch, 0)
 		for c := range net.succ {
 			net.succ[c] = append(net.succ[c], -1)
 			net.pred[c] = append(net.pred[c], -1)
 		}
 	}
+	net.epoch++
 	for c := range net.succ {
-		after := net.randomAlive(rng)
+		after := net.RandomAlive(rng)
 		next := net.succ[c][after]
 		net.succ[c][after] = s
 		net.pred[c][s] = after
 		net.succ[c][s] = next
 		net.pred[c][next] = s
+		net.slotEpoch[after] = net.epoch
+		net.slotEpoch[next] = net.epoch
 	}
+	net.slotEpoch[s] = net.epoch
 	net.alive[s] = true
 	net.nAlive++
 	return s
 }
 
-// randomAlive returns a uniformly random alive slot.
-func (net *Network) randomAlive(rng *xrand.Rand) Slot {
+// RandomAlive returns a uniformly random alive slot.
+func (net *Network) RandomAlive(rng *xrand.Rand) Slot {
 	for {
 		s := rng.Intn(len(net.alive))
 		if net.alive[s] {
@@ -151,12 +194,11 @@ func (net *Network) randomAlive(rng *xrand.Rand) Slot {
 	}
 }
 
-// RandomAliveSlot exposes randomAlive for churn drivers.
-func (net *Network) RandomAliveSlot(rng *xrand.Rand) Slot { return net.randomAlive(rng) }
-
 // Validate checks the cycle invariants: every alive slot appears exactly
 // once per cycle, successor/predecessor pointers are mutually consistent,
-// and each cycle is a single ring over all alive slots.
+// and each cycle is a single ring over all alive slots. Error messages
+// name the offending slot together with its neighbor multiset, so a
+// broken repair is debuggable from the message alone.
 func (net *Network) Validate() error {
 	for c := range net.succ {
 		seen := 0
@@ -172,16 +214,19 @@ func (net *Network) Validate() error {
 		}
 		cur := start
 		for {
-			if !net.alive[cur] {
-				return fmt.Errorf("dynamic: cycle %d passes through dead slot %d", c, cur)
-			}
 			next := net.succ[c][cur]
-			if next < 0 || net.pred[c][next] != cur {
-				return fmt.Errorf("dynamic: cycle %d has inconsistent links at %d", c, cur)
+			if next < 0 || next >= len(net.alive) || net.pred[c][next] != cur {
+				return fmt.Errorf("dynamic: cycle %d has inconsistent links at slot %d (pred=%d succ=%d, neighbors %v)",
+					c, cur, net.pred[c][cur], next, net.Neighbors(cur))
+			}
+			if !net.alive[next] {
+				return fmt.Errorf("dynamic: cycle %d passes through dead slot %d (entered from slot %d, neighbors %v)",
+					c, next, cur, net.Neighbors(cur))
 			}
 			seen++
 			if seen > net.nAlive {
-				return fmt.Errorf("dynamic: cycle %d longer than alive count", c)
+				return fmt.Errorf("dynamic: cycle %d longer than alive count %d (last slot %d, neighbors %v)",
+					c, net.nAlive, cur, net.Neighbors(cur))
 			}
 			cur = next
 			if cur == start {
@@ -189,7 +234,8 @@ func (net *Network) Validate() error {
 			}
 		}
 		if seen != net.nAlive {
-			return fmt.Errorf("dynamic: cycle %d covers %d of %d alive slots", c, seen, net.nAlive)
+			return fmt.Errorf("dynamic: cycle %d covers %d of %d alive slots (start slot %d, neighbors %v)",
+				c, seen, net.nAlive, start, net.Neighbors(start))
 		}
 	}
 	return nil

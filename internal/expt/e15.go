@@ -43,11 +43,24 @@ func E15(cfg Config) (*Table, error) {
 			}
 			params := counting.DefaultCongestParams(d)
 			params.MaxPhase = 8
+			// Legacy (non-Mixed) event randomness: the published tables pin
+			// the original churn engine's per-event stream derivation, under
+			// which balanced churn recycles the same few slots (see
+			// Churn.Mixed). Turnover below therefore counts departures, not
+			// distinct departed nodes.
 			churn := dynamic.Churn{Leaves: perRound, Joins: perRound, StopAfter: 150}
-			eng := dynamic.NewEngine(net, churn, rng.Split("eng").Uint64(),
+			// The factory's CongestProc builds each round's output with the
+			// append-into-scratch idiom (Env.Scratch/AppendBroadcast), and
+			// the unified engine recycles slot state across joins, so churn
+			// rounds are allocation-free like every other workload (see
+			// internal/sim/alloc_test.go's churn case).
+			eng, err := dynamic.NewRunner(net, churn, rng.Split("eng").Uint64(),
 				func(slot dynamic.Slot, id sim.NodeID) sim.Proc {
 					return counting.NewCongestProc(params)
 				})
+			if err != nil {
+				return res{}, err
+			}
 			if _, err := eng.Run(params.Schedule.RoundsThroughPhase(params.MaxPhase + 1)); err != nil {
 				return res{}, err
 			}

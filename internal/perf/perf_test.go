@@ -56,13 +56,13 @@ func TestMeasureCalibrates(t *testing.T) {
 	}
 }
 
-// TestSuiteShape: the suite covers the engine micro-benchmarks and all
-// fifteen experiments, names are unique, and the filter selects by
-// substring.
+// TestSuiteShape: the suite covers the engine micro-benchmarks (static
+// and churn) and all fifteen experiments, names are unique, and the
+// filter selects by substring.
 func TestSuiteShape(t *testing.T) {
 	suite := Suite(SuiteConfig{Quick: true})
-	if len(suite) != 4+15 {
-		t.Fatalf("suite has %d benchmarks, want 19", len(suite))
+	if len(suite) != 6+15 {
+		t.Fatalf("suite has %d benchmarks, want 21", len(suite))
 	}
 	seen := map[string]bool{}
 	experiments := 0
@@ -84,9 +84,16 @@ func TestSuiteShape(t *testing.T) {
 	if !seen["engine/flood/serial/n=1024"] {
 		t.Error("suite is missing engine/flood/serial/n=1024")
 	}
+	if !seen["engine/churn-flood/serial/n=1024"] {
+		t.Error("suite is missing engine/churn-flood/serial/n=1024")
+	}
 	filtered := Suite(SuiteConfig{Quick: true, Filter: "engine/flood"})
 	if len(filtered) != 3 {
 		t.Errorf("filter engine/flood kept %d benchmarks, want 3", len(filtered))
+	}
+	churnFiltered := Suite(SuiteConfig{Quick: true, Filter: "churn-flood"})
+	if len(churnFiltered) != 2 {
+		t.Errorf("filter churn-flood kept %d benchmarks, want 2", len(churnFiltered))
 	}
 }
 

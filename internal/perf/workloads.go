@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"byzcount/internal/counting"
+	"byzcount/internal/dynamic"
 	"byzcount/internal/expt"
 	"byzcount/internal/graph"
 	"byzcount/internal/sim"
@@ -64,6 +65,64 @@ func NewFloodEngine(n, d, workers int) (*sim.Engine, error) {
 		return nil, err
 	}
 	return eng, nil
+}
+
+// floodProcShared is the one FloodProc instance every vertex of the
+// churn workloads shares: the proc is stateless, so sharing is safe in
+// both engine modes, and the join factory installs it without
+// allocating — which is what keeps churn rounds at zero allocations.
+var floodProcShared FloodProc
+
+// NewChurnFloodEngine builds the flood workload under continuous churn:
+// the dynamically maintained H(n,d) topology with perRound leaves and
+// perRound joins applied between every pair of rounds, forever, on the
+// unified engine, with well-mixed event randomness (Churn.Mixed, so
+// departures hit uniformly random nodes and the whole membership really
+// turns over — not the legacy derivation E15 pins). This is the dynamic
+// path's entry in the perf trajectory: steady-state churn rounds —
+// membership turnover, cycle repair, epoch-driven neighborhood
+// re-resolution included — must allocate nothing, exactly like the
+// static flood.
+func NewChurnFloodEngine(n, d, workers, perRound int) (*dynamic.Runner, error) {
+	net, err := dynamic.NewNetwork(n, d, xrand.New(4))
+	if err != nil {
+		return nil, err
+	}
+	run, err := dynamic.NewRunner(net, dynamic.Churn{Leaves: perRound, Joins: perRound, Mixed: true}, 5,
+		func(slot dynamic.Slot, id sim.NodeID) sim.Proc { return &floodProcShared })
+	if err != nil {
+		return nil, err
+	}
+	run.SetParallelism(workers)
+	return run, nil
+}
+
+// churnFloodBenchmark measures rounds/sec and msgs/sec on the churn
+// flood workload; one iteration is one round (with its between-rounds
+// churn). Warmup brings every slot's recycled buffers to their
+// high-water marks so allocs_per_op records the steady state.
+func churnFloodBenchmark(name string, n, d, workers, perRound int, minTime time.Duration) Benchmark {
+	return Benchmark{
+		Name:    name,
+		Warmup:  64,
+		MinTime: minTime,
+		Setup: func() (func(int) (Totals, error), error) {
+			run, err := NewChurnFloodEngine(n, d, workers, perRound)
+			if err != nil {
+				return nil, err
+			}
+			return func(iters int) (Totals, error) {
+				before := run.Metrics().Messages
+				if _, err := run.Run(iters); err != nil {
+					return Totals{}, err
+				}
+				return Totals{
+					Msgs:   run.Metrics().Messages - before,
+					Rounds: int64(iters),
+				}, nil
+			}, nil
+		},
+	}
 }
 
 // floodBenchmark measures engine rounds/sec and msgs/sec on the flood
@@ -163,8 +222,9 @@ func experimentBenchmark(id string, quick bool) Benchmark {
 
 // Suite returns the standard benchmark suite: the engine flood
 // micro-benchmarks (serial, pinned-8-worker, and GOMAXPROCS-worker
-// parallel), a full benign CONGEST protocol run, and the E1-E15 quick
-// experiment regenerations.
+// parallel), the churn flood micro-benchmarks (serial and pinned-worker
+// — the dynamic-membership path), a full benign CONGEST protocol run,
+// and the E1-E15 quick experiment regenerations.
 func Suite(cfg SuiteConfig) []Benchmark {
 	workers := cfg.Parallel
 	if workers <= 0 {
@@ -179,6 +239,9 @@ func Suite(cfg SuiteConfig) []Benchmark {
 		floodBenchmark(fmt.Sprintf("engine/flood/parallel=%d/n=1024", workers), 1024, 8, workers, micro),
 		floodBenchmark(fmt.Sprintf("engine/flood/gomaxprocs=%d/n=1024", runtime.GOMAXPROCS(0)),
 			1024, 8, runtime.GOMAXPROCS(0), micro),
+		churnFloodBenchmark("engine/churn-flood/serial/n=1024", 1024, 8, 1, 2, micro),
+		churnFloodBenchmark(fmt.Sprintf("engine/churn-flood/parallel=%d/n=1024", workers),
+			1024, 8, workers, 2, micro),
 		congestBenchmark(micro),
 	}
 	for _, id := range expt.IDs() {

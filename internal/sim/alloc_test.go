@@ -15,6 +15,7 @@ package sim_test
 import (
 	"testing"
 
+	"byzcount/internal/dynamic"
 	"byzcount/internal/perf"
 	"byzcount/internal/sim"
 )
@@ -47,6 +48,62 @@ func TestSteadyStateAllocsSerial(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("serial steady-state round allocates: %.1f allocs/round, want 0", allocs)
+	}
+}
+
+// warmChurnFloodEngine returns the 1024-node churn flood runner (two
+// leaves and two joins between every pair of rounds, forever) warmed the
+// same way as warmFloodEngine: past the MessagesByRound capacity
+// boundary and with every recycled slot buffer at its high-water mark.
+func warmChurnFloodEngine(t *testing.T, workers int) *dynamic.Runner {
+	t.Helper()
+	run, err := perf.NewChurnFloodEngine(1024, 8, workers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Run(1300); err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestSteadyStateAllocsChurnSerial: a warm serial round under continuous
+// membership churn — cycle repair, slot recycling, epoch-driven
+// neighborhood re-resolution, per-event stream re-derivation — allocates
+// nothing, strictly. The dynamic path is held to the same budget as the
+// static engine.
+func TestSteadyStateAllocsChurnSerial(t *testing.T) {
+	run := warmChurnFloodEngine(t, 1)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := run.Run(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("serial steady-state churn round allocates: %.1f allocs/round, want 0", allocs)
+	}
+}
+
+// TestSteadyStateAllocsChurnParallel: the churn workload under the
+// sharded engine must not allocate per round beyond the constant per-Run
+// pool startup, pinned the same way as the static parallel guard.
+func TestSteadyStateAllocsChurnParallel(t *testing.T) {
+	run := warmChurnFloodEngine(t, 8)
+	measure := func(rounds int) float64 {
+		return testing.AllocsPerRun(1, func() {
+			if _, err := run.Run(rounds); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := measure(20)
+	long := measure(120)
+	if delta := long - short; delta != 0 {
+		t.Errorf("parallel churn rounds allocate: %d rounds cost %.0f allocs, %d rounds cost %.0f (delta %.0f, want 0)",
+			20, short, 120, long, delta)
+	}
+	if short >= 20 {
+		t.Errorf("pool startup costs %.0f allocs, which is >= 1 per round over 20 rounds", short)
 	}
 }
 

@@ -11,11 +11,20 @@
 // outboxes in ascending vertex order, so delivery order, edge-capacity
 // decisions, and metrics are byte-for-byte identical to the serial
 // engine (see round ordering notes on roundParallel).
+//
+// The network may be static (NewEngine over a graph.Graph — the
+// zero-overhead fast path) or mutable (NewTopologyEngine over a
+// Topology): a mutable topology is epoch-stamped, neighborhoods are
+// re-resolved into per-vertex buffers only when the epoch changes, and
+// membership turns over at round boundaries via Detach/AttachAt with
+// slot recycling, so churn runs share the static engine's
+// allocation-free steady state and its serial/parallel bit-equality.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -27,6 +36,40 @@ import (
 // Per the model, IDs are comparable black boxes that leak no information
 // about the network size.
 type NodeID uint64
+
+// Topology is the engine's view of a mutable network: a dense slot space
+// (alive slots plus recycled ones), per-slot neighbor multisets, and an
+// epoch counter that must be bumped on every structural change. The
+// engine re-resolves a vertex's neighborhood (into reusable buffers, so
+// steady-state rounds stay allocation-free) exactly when the topology's
+// epoch differs from the vertex's last-seen epoch. Topologies may only
+// change at round boundaries — from a between-rounds hook (see
+// SetBetweenRounds), never from a Step.
+type Topology interface {
+	// Slots is the size of the vertex index space, alive or not.
+	Slots() int
+	// Alive reports whether slot v currently hosts a node.
+	Alive(v int) bool
+	// Epoch is a counter bumped on every structural change (join, leave,
+	// rewire). A constant epoch means the engine never re-resolves.
+	Epoch() uint64
+	// EpochOf reports the Epoch value at which slot v's neighborhood
+	// last changed (0 if never). It lets the engine refresh only the
+	// slots a churn event actually touched — O(churn * degree) per
+	// round instead of O(n * degree) — so implementations must stamp
+	// every slot whose neighbor multiset (or whose presence in others'
+	// multisets) a mutation alters.
+	EpochOf(v int) uint64
+	// AppendNeighbors appends v's neighbor multiset to buf and returns
+	// the extended slice (one entry per incident edge; duplicates mean
+	// parallel edges). It must not retain buf.
+	AppendNeighbors(v int, buf []int) []int
+}
+
+// staleEpoch marks a vertex whose neighborhood has never been resolved
+// (or was force-invalidated by AttachAt); topology epochs start at 0 and
+// only increment, so they never collide with it.
+const staleEpoch = ^uint64(0)
 
 // Payload is the interface satisfied by all message payloads. SizeBits
 // reports the payload's size for the message-size metrics that distinguish
@@ -188,16 +231,50 @@ type workerState struct {
 	allHalted  bool
 }
 
-// Engine drives a set of processes over a network graph in lock-step
-// rounds.
+// Engine drives a set of processes over a network in lock-step rounds.
+// The network is either a static graph (NewEngine) or a mutable Topology
+// (NewTopologyEngine); in the latter case vacant slots carry nil
+// processes and membership changes at round boundaries via
+// Detach/AttachAt.
 type Engine struct {
-	g     *graph.Graph
+	g    *graph.Graph // static substrate; nil for topology engines
+	topo Topology     // mutable substrate; nil for static engines
+	n    int          // slot capacity (== g.N() for static engines)
+	root *xrand.Rand  // engine seed stream; derives per-slot streams on growth
+
+	// idStream assigns node IDs: the initially alive slots draw in slot
+	// order at construction, and assignID serves any engine-assigned ID
+	// later (joiner IDs normally arrive explicitly via AttachAt).
+	idStream *xrand.Rand
+
 	procs []Proc
 	envs  []Env
 	ids   []NodeID
 
-	// vertexOf inverts ids for O(1) VertexOf lookups.
+	// vertexOf inverts ids for O(1) VertexOf lookups. Detach deletes the
+	// departed ID and AttachAt inserts the joiner's, so under balanced
+	// churn the map's population is stable and updates never allocate.
 	vertexOf map[NodeID]int
+
+	// epochOf[v] is the topology epoch v's neighborhood buffers were
+	// last resolved against (topology engines only). curEpoch caches
+	// Topology.Epoch() once per round.
+	epochOf  []uint64
+	curEpoch uint64
+
+	// betweenRounds, if non-nil, runs after every round's delivery swap
+	// and before the all-halted check — the churn hook point.
+	betweenRounds func(round int) error
+
+	// regrow is set when the slot arrays grew mid-run (topology growth):
+	// worker ranges, shard maps, and scratch are sized to n and must be
+	// rebuilt before the next round.
+	regrow bool
+
+	// hookAttached records that the current between-rounds hook invoked
+	// AttachAt; Run then suppresses the all-halted early return so the
+	// joiners get their promised first Step next round.
+	hookAttached bool
 
 	// stop, if non-nil, is evaluated after every round; returning true
 	// ends the run early (used for "all honest nodes decided" detection).
@@ -266,31 +343,16 @@ const (
 // not equal the number of graph vertices.
 var ErrSizeMismatch = errors.New("sim: process count does not match vertex count")
 
-// NewEngine creates an engine over g. Node IDs and per-node random streams
-// derive from seed; vertex v's stream is independent of all others.
+// NewEngine creates an engine over the static graph g. Node IDs and
+// per-node random streams derive from seed; vertex v's stream is
+// independent of all others.
 func NewEngine(g *graph.Graph, seed uint64) *Engine {
-	n := g.N()
-	root := xrand.New(seed)
-	idStream := root.Split("ids")
-	e := &Engine{
-		g:         g,
-		envs:      make([]Env, n),
-		ids:       make([]NodeID, n),
-		vertexOf:  make(map[NodeID]int, n),
-		cur:       make([][]Incoming, n),
-		next:      make([][]Incoming, n),
-		sortedAdj: make([][]int32, n),
+	e := newEngine(g.N(), seed)
+	e.g = g
+	for v := 0; v < e.n; v++ {
+		e.assignID(v)
 	}
-	e.metrics.PerNodeMaxBit = make([]int, n)
-	for v := 0; v < n; v++ {
-		id := NodeID(idStream.ID())
-		for _, dup := e.vertexOf[id]; dup; _, dup = e.vertexOf[id] {
-			id = NodeID(idStream.ID())
-		}
-		e.vertexOf[id] = v
-		e.ids[v] = id
-	}
-	for v := 0; v < n; v++ {
+	for v := 0; v < e.n; v++ {
 		nbrs := g.Neighbors(v)
 		nbrIDs := make([]NodeID, len(nbrs))
 		sorted := make([]int32, len(nbrs))
@@ -300,16 +362,68 @@ func NewEngine(g *graph.Graph, seed uint64) *Engine {
 		}
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		e.sortedAdj[v] = dedupSorted(sorted)
-		e.envs[v] = Env{
-			Vertex:      v,
-			ID:          e.ids[v],
-			Degree:      g.Degree(v),
-			Neighbors:   nbrs,
-			NeighborIDs: nbrIDs,
-			Rand:        root.SplitN("node", v),
+		e.envs[v].ID = e.ids[v]
+		e.envs[v].Degree = g.Degree(v)
+		e.envs[v].Neighbors = nbrs
+		e.envs[v].NeighborIDs = nbrIDs
+	}
+	return e
+}
+
+// NewTopologyEngine creates an engine over a mutable topology. IDs are
+// assigned to the initially alive slots in ascending slot order from the
+// same seed-derived stream NewEngine uses; vacant slots receive an ID
+// (and a process) only when a joiner arrives via AttachAt. Neighborhoods
+// are resolved lazily against the topology's epoch, so construction does
+// not walk adjacency at all.
+func NewTopologyEngine(topo Topology, seed uint64) *Engine {
+	e := newEngine(topo.Slots(), seed)
+	e.topo = topo
+	e.epochOf = make([]uint64, e.n)
+	for v := 0; v < e.n; v++ {
+		e.epochOf[v] = staleEpoch
+		if topo.Alive(v) {
+			e.assignID(v)
+			e.envs[v].ID = e.ids[v]
 		}
 	}
 	return e
+}
+
+// newEngine builds the substrate-independent core: slot arrays sized n
+// and per-slot random streams. A slot's stream is a pure function of
+// (seed, slot), so it survives membership turnover — a joiner recycling
+// slot v continues v's stream where the leaver left it, which is what
+// keeps churn runs reproducible however the membership history unfolds.
+func newEngine(n int, seed uint64) *Engine {
+	root := xrand.New(seed)
+	e := &Engine{
+		n:         n,
+		root:      root,
+		idStream:  root.Split("ids"),
+		envs:      make([]Env, n),
+		ids:       make([]NodeID, n),
+		vertexOf:  make(map[NodeID]int, n),
+		cur:       make([][]Incoming, n),
+		next:      make([][]Incoming, n),
+		sortedAdj: make([][]int32, n),
+	}
+	e.metrics.PerNodeMaxBit = make([]int, n)
+	for v := 0; v < n; v++ {
+		e.envs[v] = Env{Vertex: v, Rand: root.SplitN("node", v)}
+	}
+	return e
+}
+
+// assignID draws a fresh unique ID for vertex v from the engine's ID
+// stream.
+func (e *Engine) assignID(v int) {
+	id := NodeID(e.idStream.ID())
+	for _, dup := e.vertexOf[id]; dup; _, dup = e.vertexOf[id] {
+		id = NodeID(e.idStream.ID())
+	}
+	e.vertexOf[id] = v
+	e.ids[v] = id
 }
 
 // dedupSorted compacts consecutive duplicates (parallel edges) in place.
@@ -323,10 +437,12 @@ func dedupSorted(s []int32) []int32 {
 	return out
 }
 
-// Attach installs one process per vertex. It must be called before Run.
+// Attach installs one process per vertex slot. It must be called before
+// Run. Nil entries mark vacant slots (dead topology slots awaiting a
+// joiner); they are skipped every round until AttachAt fills them.
 func (e *Engine) Attach(procs []Proc) error {
-	if len(procs) != e.g.N() {
-		return fmt.Errorf("%w: %d processes for %d vertices", ErrSizeMismatch, len(procs), e.g.N())
+	if len(procs) != e.n {
+		return fmt.Errorf("%w: %d processes for %d vertices", ErrSizeMismatch, len(procs), e.n)
 	}
 	e.procs = procs
 	e.ws = nil // worker scratch depends on which procs are Sequential
@@ -339,6 +455,200 @@ func (e *Engine) Attach(procs []Proc) error {
 		}
 	}
 	return nil
+}
+
+// SetBetweenRounds installs a hook that runs at every round boundary —
+// after the round's messages have been delivered and before the
+// all-halted check. It is the only place topology mutations and
+// Detach/AttachAt membership changes are allowed; a non-nil error aborts
+// the run. Matching the dynamic-network convention, a node that departs
+// in the hook never sees the messages delivered to it this boundary, and
+// processes attached in the hook first step in the next round — a round
+// in which every pre-existing process had halted does not end the run
+// when the hook attached fresh ones.
+func (e *Engine) SetBetweenRounds(hook func(round int) error) { e.betweenRounds = hook }
+
+// Detach retires the process at vertex v at a round boundary (a leave):
+// the slot's pending deliveries are dropped, its ID leaves the index,
+// and the slot is skipped by every subsequent round until AttachAt
+// recycles it. The slot's buffers — inbox slabs, scratch, random stream
+// — are retained, so a later joiner inherits their capacity and churn
+// stays allocation-free in steady state.
+func (e *Engine) Detach(v int) error {
+	if v < 0 || v >= e.n || e.procs == nil || e.procs[v] == nil {
+		return fmt.Errorf("sim: Detach of vacant vertex %d", v)
+	}
+	delete(e.vertexOf, e.ids[v])
+	e.procs[v] = nil
+	e.cur[v] = e.cur[v][:0]
+	e.next[v] = e.next[v][:0]
+	if e.isSeq != nil && e.isSeq[v] {
+		e.isSeq[v] = false
+		if i := slices.Index(e.seq, v); i >= 0 {
+			e.seq = slices.Delete(e.seq, i, i+1)
+		}
+	}
+	return nil
+}
+
+// AttachAt installs process p at vertex v with node ID id at a round
+// boundary (a join). The slot must be vacant — freshly detached, dead
+// since construction, or beyond the current capacity (the arrays grow
+// to cover it). Recycled slots keep their random stream, resuming where
+// the departed occupant left it, so executions remain a pure function
+// of the seed and the membership history. On a static engine the
+// neighbors' cached NeighborIDs entries for v are patched in place; on
+// a topology engine every vertex re-resolves at the next epoch change,
+// and v itself is force-refreshed here.
+func (e *Engine) AttachAt(v int, id NodeID, p Proc) error {
+	if p == nil {
+		return fmt.Errorf("sim: AttachAt(%d) with nil process", v)
+	}
+	if v < 0 {
+		return fmt.Errorf("sim: AttachAt of negative vertex %d", v)
+	}
+	if e.procs == nil {
+		return errors.New("sim: AttachAt before Attach")
+	}
+	if v >= e.n {
+		if e.topo == nil {
+			return fmt.Errorf("sim: AttachAt(%d) beyond the static graph's %d vertices", v, e.n)
+		}
+		e.growTo(v + 1)
+	}
+	if e.procs[v] != nil {
+		return fmt.Errorf("sim: AttachAt(%d): slot already occupied", v)
+	}
+	if w, dup := e.vertexOf[id]; dup {
+		return fmt.Errorf("sim: AttachAt(%d): ID already held by vertex %d", v, w)
+	}
+	e.ids[v] = id
+	e.vertexOf[id] = v
+	env := &e.envs[v]
+	env.ID = id
+	if env.Rand == nil {
+		env.Rand = e.root.SplitN("node", v)
+	}
+	e.cur[v] = e.cur[v][:0]
+	e.next[v] = e.next[v][:0]
+	e.procs[v] = p
+	e.hookAttached = true
+	if _, ok := p.(Sequential); ok {
+		if e.isSeq == nil || len(e.isSeq) < e.n {
+			grown := make([]bool, e.n)
+			copy(grown, e.isSeq)
+			e.isSeq = grown
+		}
+		e.isSeq[v] = true
+		if i, found := slices.BinarySearch(e.seq, v); !found {
+			e.seq = slices.Insert(e.seq, i, v)
+		}
+		if len(e.ranges) > 1 && len(e.acc) < e.n {
+			e.acc = make([][]routed, e.n)
+		}
+	}
+	e.patchNeighborIDs(v)
+	return nil
+}
+
+// patchNeighborIDs updates the cached NeighborIDs entries pointing at v
+// after its ID changed. On a topology engine v's own neighborhood is
+// re-resolved first (the join usually bumped the epoch anyway); its
+// neighbors' entries are patched in place so even an epoch-neutral
+// replacement is observed immediately.
+func (e *Engine) patchNeighborIDs(v int) {
+	if e.topo != nil {
+		e.refreshVertex(v)
+		for _, w := range e.envs[v].Neighbors {
+			patchOne(&e.envs[w], v, e.ids[v])
+		}
+		return
+	}
+	for _, w := range e.g.Adj(v) {
+		patchOne(&e.envs[w], v, e.ids[v])
+	}
+}
+
+// patchOne rewrites env's NeighborIDs entries for neighbor v.
+func patchOne(env *Env, v int, id NodeID) {
+	for k, x := range env.Neighbors {
+		if x == v {
+			env.NeighborIDs[k] = id
+		}
+	}
+}
+
+// growTo extends the slot arrays to at least m vertices (topology
+// growth beyond the constructed capacity). Growth allocates — it is a
+// capacity change, not steady state — and flags the worker ranges,
+// shard map, and scratch for rebuild at the next round boundary. The
+// arrays grow with doubling headroom (the extra slots sit vacant until
+// the topology reaches them), so a net-growing churn run that adds one
+// slot per round pays O(log growth) rebuilds and pool restarts, not
+// one per round.
+func (e *Engine) growTo(m int) {
+	if m < 2*e.n {
+		m = 2 * e.n
+	}
+	for v := e.n; v < m; v++ {
+		e.procs = append(e.procs, nil)
+		e.ids = append(e.ids, 0)
+		e.envs = append(e.envs, Env{Vertex: v})
+		e.cur = append(e.cur, nil)
+		e.next = append(e.next, nil)
+		e.sortedAdj = append(e.sortedAdj, nil)
+		e.metrics.PerNodeMaxBit = append(e.metrics.PerNodeMaxBit, 0)
+		if e.epochOf != nil {
+			e.epochOf = append(e.epochOf, staleEpoch)
+		}
+		if e.isSeq != nil {
+			e.isSeq = append(e.isSeq, false)
+		}
+	}
+	e.n = m
+	e.regrow = true
+}
+
+// catchUpVertex brings a vertex whose last-seen epoch is stale up to
+// the current one: its neighborhood buffers are rebuilt only if the
+// topology stamped the slot since the vertex last looked (EpochOf),
+// otherwise the stamp alone advances. Rounds without churn therefore
+// cost one compare per vertex, and churn rounds re-resolve only the
+// slots the events actually touched.
+func (e *Engine) catchUpVertex(v int) {
+	if e.epochOf[v] != staleEpoch && e.topo.EpochOf(v) <= e.epochOf[v] {
+		e.epochOf[v] = e.curEpoch
+		return
+	}
+	e.refreshVertex(v)
+}
+
+// refreshVertex re-resolves v's neighborhood against the mutable
+// topology, reusing the env's slices and the sorted-adjacency buffer so
+// a refresh at the buffers' high-water capacity allocates nothing.
+func (e *Engine) refreshVertex(v int) {
+	env := &e.envs[v]
+	nbrs := e.topo.AppendNeighbors(v, env.Neighbors[:0])
+	env.Neighbors = nbrs
+	env.Degree = len(nbrs)
+	env.ID = e.ids[v]
+	ids := env.NeighborIDs[:0]
+	for _, w := range nbrs {
+		ids = append(ids, e.ids[w])
+	}
+	env.NeighborIDs = ids
+	sa := e.sortedAdj[v][:0]
+	for _, w := range nbrs {
+		sa = append(sa, int32(w))
+	}
+	slices.Sort(sa)
+	e.sortedAdj[v] = dedupSorted(sa)
+	// Stamp the topology's live epoch, not the per-round cache: during a
+	// round they are equal (topologies mutate only between rounds), but
+	// an AttachAt-time refresh runs after the hook's mutations bumped the
+	// epoch past the cache, and stamping the live value is what lets the
+	// joiner's resolve stick instead of being redone next round.
+	e.epochOf[v] = e.topo.Epoch()
 }
 
 // SetStopCondition installs a predicate evaluated after each round; the
@@ -379,8 +689,16 @@ func (e *Engine) Parallelism() int {
 	return e.workers
 }
 
-// Graph returns the underlying network graph.
+// Graph returns the underlying static network graph, or nil for an
+// engine built over a mutable Topology.
 func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Topology returns the underlying mutable topology, or nil for an
+// engine built over a static graph.
+func (e *Engine) Topology() Topology { return e.topo }
+
+// Slots returns the engine's vertex-slot capacity (alive plus vacant).
+func (e *Engine) Slots() int { return e.n }
 
 // ID returns the node ID of vertex v.
 func (e *Engine) ID(v int) NodeID { return e.ids[v] }
@@ -414,7 +732,7 @@ func (e *Engine) Metrics() Metrics { return e.metrics }
 // depends only on v's own this-round traffic, so it is identical
 // however vertices are scheduled.
 func (e *Engine) admit(ws *workerState, v int, msg *Outgoing) bool {
-	if uint(msg.To) >= uint(e.g.N()) || ws.nbrMark[msg.To] != ws.gen {
+	if uint(msg.To) >= uint(e.n) || ws.nbrMark[msg.To] != ws.gen {
 		ws.violations++
 		return false
 	}
@@ -424,8 +742,8 @@ func (e *Engine) admit(ws *workerState, v int, msg *Outgoing) bool {
 	}
 	if e.edgeCapBits > 0 {
 		if ws.budget == nil {
-			ws.budget = make([]int, e.g.N())
-			ws.budgetGen = make([]uint64, e.g.N())
+			ws.budget = make([]int, e.n)
+			ws.budgetGen = make([]uint64, e.n)
 		}
 		if ws.budgetGen[msg.To] != ws.gen {
 			ws.budgetGen[msg.To] = ws.gen
@@ -454,7 +772,7 @@ func (e *Engine) ensureState() {
 	if e.ws != nil {
 		return
 	}
-	n := e.g.N()
+	n := e.n
 	w := e.Parallelism()
 	if w > n && n > 0 {
 		w = n
@@ -476,7 +794,7 @@ func (e *Engine) ensureState() {
 				e.shardOf[v] = int32(i)
 			}
 		}
-		if len(e.seq) > 0 && e.acc == nil {
+		if len(e.seq) > 0 && len(e.acc) < n {
 			e.acc = make([][]routed, n)
 		}
 	}
@@ -508,7 +826,7 @@ func (e *Engine) flushRound() int64 {
 // this loop is the engine's hot path and an uninlined call per message
 // costs ~50% throughput.
 func (e *Engine) roundSerial(r int) bool {
-	n := e.g.N()
+	n := e.n
 	ws := e.ws[0]
 	capBits := e.edgeCapBits
 	if capBits > 0 && ws.budget == nil {
@@ -520,14 +838,18 @@ func (e *Engine) roundSerial(r int) bool {
 	}
 	nbrMark := ws.nbrMark
 	perNodeMax := e.metrics.PerNodeMaxBit
+	dyn := e.topo != nil
 	allHalted := true
 	for v := 0; v < n; v++ {
 		p := e.procs[v]
-		if p.Halted() {
+		if p == nil || p.Halted() {
 			e.cur[v] = e.cur[v][:0]
 			continue
 		}
 		allHalted = false
+		if dyn && e.epochOf[v] != e.curEpoch {
+			e.catchUpVertex(v)
+		}
 		out := p.Step(&e.envs[v], r, e.cur[v])
 		e.cur[v] = e.cur[v][:0]
 		if len(out) == 0 {
@@ -595,18 +917,21 @@ func (e *Engine) roundSerial(r int) bool {
 // touched race-free.
 func (e *Engine) stepVertex(v, r int, ws *workerState) []Outgoing {
 	p := e.procs[v]
-	if p.Halted() {
+	if p == nil || p.Halted() {
 		e.cur[v] = e.cur[v][:0]
 		return nil
 	}
 	ws.allHalted = false
+	if e.topo != nil && e.epochOf[v] != e.curEpoch {
+		e.catchUpVertex(v)
+	}
 	out := p.Step(&e.envs[v], r, e.cur[v])
 	e.cur[v] = e.cur[v][:0]
 	if len(out) == 0 {
 		return nil
 	}
 	if ws.nbrMark == nil {
-		ws.nbrMark = make([]uint64, e.g.N())
+		ws.nbrMark = make([]uint64, e.n)
 	}
 	ws.gen++
 	for _, w := range e.sortedAdj[v] {
@@ -760,7 +1085,7 @@ func (e *Engine) mergeShard(s int) {
 // merge, where admitted messages sit in per-vertex outboxes).
 func (e *Engine) mergeRange(i int) {
 	lo, hi := e.ranges[i][0], e.ranges[i][1]
-	for v := 0; v < e.g.N(); v++ {
+	for v := 0; v < e.n; v++ {
 		for _, m := range e.acc[v] {
 			to := int(m.to)
 			if to < lo || to >= hi {
@@ -821,6 +1146,13 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 	if maxRounds < 0 {
 		return 0, errors.New("sim: negative maxRounds")
 	}
+	// Growth between Run calls (AttachAt beyond capacity outside a hook,
+	// or a hook that errored right after growing) leaves worker state
+	// sized to the old capacity; rebuild before executing anything.
+	if e.regrow {
+		e.regrow = false
+		e.ws = nil
+	}
 	e.ensureState()
 	// Reserve the traffic series up front (rounded to a power of two,
 	// bounded so a huge maxRounds with an early stop condition cannot
@@ -843,9 +1175,12 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 	parallel := len(e.ranges) > 1
 	if parallel {
 		e.startPool()
-		defer e.stopPool()
 	}
+	defer e.stopPool()
 	for r := 0; r < maxRounds; r++ {
+		if e.topo != nil {
+			e.curEpoch = e.topo.Epoch()
+		}
 		var allHalted bool
 		if parallel {
 			allHalted = e.roundParallel(r)
@@ -856,6 +1191,31 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 		e.metrics.Rounds++
 		e.metrics.MessagesByRound = append(e.metrics.MessagesByRound, roundMsgs)
 		e.cur, e.next = e.next, e.cur
+		if e.betweenRounds != nil {
+			e.hookAttached = false
+			if err := e.betweenRounds(r); err != nil {
+				return r + 1, err
+			}
+			// Freshly attached processes are owed a first Step; the round's
+			// all-halted verdict predates them.
+			if e.hookAttached {
+				allHalted = false
+			}
+			if e.regrow {
+				// The slot arrays grew: ranges, the shard map, and worker
+				// scratch are sized to the old capacity. Rebuild them (and
+				// the pool, whose workers cache range bounds) before the
+				// next round.
+				e.regrow = false
+				e.stopPool()
+				e.ws = nil
+				e.ensureState()
+				parallel = len(e.ranges) > 1
+				if parallel {
+					e.startPool()
+				}
+			}
+		}
 		if allHalted {
 			return r, nil
 		}

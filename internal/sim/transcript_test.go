@@ -23,18 +23,13 @@ import (
 // by the seed (pre-arena) serial engine.
 const seedCongestTranscript = "4515ce4d3c5d24e5"
 
-// transcriptProc wraps a process and folds every delivered message into
-// a per-vertex FNV-1a digest before delegating. Per-vertex state keeps
-// the wrapper safe under the sharded parallel engine; digests are
-// combined in vertex order afterwards, so the total is schedule-independent.
-type transcriptProc struct {
-	inner sim.Proc
-	sum   uint64
-}
-
-func (t *transcriptProc) Halted() bool { return t.inner.Halted() }
-
-func (t *transcriptProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
+// foldTranscript chains one round's delivered messages onto sum with
+// FNV-1a: round, receiving vertex (plus its current ID when withID is
+// set — the churn tests need it to pin slot recycling), then each
+// message's sender vertex, sender ID, and payload content. Shared by
+// the static transcript pin below and the churn transcript pin in
+// churn_test.go, so the payload coverage cannot drift apart.
+func foldTranscript(sum uint64, round int, env *sim.Env, withID bool, in []sim.Incoming) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	w64 := func(x uint64) {
@@ -43,9 +38,12 @@ func (t *transcriptProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.
 		}
 		h.Write(buf[:])
 	}
-	w64(t.sum)
+	w64(sum)
 	w64(uint64(round))
 	w64(uint64(env.Vertex))
+	if withID {
+		w64(uint64(env.ID))
+	}
 	for _, m := range in {
 		w64(uint64(m.From))
 		w64(uint64(m.FromID))
@@ -63,7 +61,22 @@ func (t *transcriptProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.
 			w64(uint64(p.SizeBits()))
 		}
 	}
-	t.sum = h.Sum64()
+	return h.Sum64()
+}
+
+// transcriptProc wraps a process and folds every delivered message into
+// a per-vertex FNV-1a digest before delegating. Per-vertex state keeps
+// the wrapper safe under the sharded parallel engine; digests are
+// combined in vertex order afterwards, so the total is schedule-independent.
+type transcriptProc struct {
+	inner sim.Proc
+	sum   uint64
+}
+
+func (t *transcriptProc) Halted() bool { return t.inner.Halted() }
+
+func (t *transcriptProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
+	t.sum = foldTranscript(t.sum, round, env, false, in)
 	return t.inner.Step(env, round, in)
 }
 

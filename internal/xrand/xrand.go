@@ -39,11 +39,39 @@ func (r *Rand) Seed() uint64 { return r.seed }
 // a pure function of (parent seed, label): it does not consume randomness
 // from the parent, so the parent's future output is unaffected.
 func (r *Rand) Split(label string) *Rand {
+	return New(r.splitSeed(label))
+}
+
+// SplitInto derives the same sub-stream Split(label) would, but re-seeds
+// dst in place instead of allocating a fresh stream, and returns dst (a
+// fresh stream is allocated only when dst is nil). Callers that re-derive
+// the same labelled stream per event — e.g. the churn driver's per-leave
+// and per-join streams — use this to keep steady-state rounds
+// allocation-free while producing byte-identical draws.
+func (r *Rand) SplitInto(label string, dst *Rand) *Rand {
+	seed := r.splitSeed(label)
+	if dst == nil {
+		return New(seed)
+	}
+	dst.Reseed(seed)
+	return dst
+}
+
+// Reseed re-initializes r in place to the state New(seed) creates,
+// without allocating.
+func (r *Rand) Reseed(seed uint64) {
+	r.seed = seed
+	r.src.Seed(int64(mix(seed)))
+}
+
+// splitSeed is the pure (parent seed, label) -> child seed derivation
+// shared by Split and SplitInto.
+func (r *Rand) splitSeed(label string) uint64 {
 	h := r.seed
 	for _, b := range []byte(label) {
 		h = mix(h ^ uint64(b))
 	}
-	return New(mix(h ^ 0x9e3779b97f4a7c15))
+	return mix(h ^ 0x9e3779b97f4a7c15)
 }
 
 // SplitN derives an independent sub-stream identified by label and index,
