@@ -1,5 +1,5 @@
 // Package bench is the benchmark harness of the reproduction: one
-// testing.B benchmark per experiment E1-E15 (each regenerates its table
+// testing.B benchmark per experiment E1-E18 (each regenerates its table
 // in quick mode; see DESIGN.md for the experiment index), plus
 // micro-benchmarks for the substrates the experiments stand on.
 //
@@ -61,6 +61,9 @@ func BenchmarkE12(b *testing.B) { benchExperiment(b, "E12") } // placement sensi
 func BenchmarkE13(b *testing.B) { benchExperiment(b, "E13") } // crash-fault churn (extension)
 func BenchmarkE14(b *testing.B) { benchExperiment(b, "E14") } // topology sensitivity (extension)
 func BenchmarkE15(b *testing.B) { benchExperiment(b, "E15") } // join/leave churn (extension)
+func BenchmarkE16(b *testing.B) { benchExperiment(b, "E16") } // spam + churn (extension)
+func BenchmarkE17(b *testing.B) { benchExperiment(b, "E17") } // placement under churn (extension)
+func BenchmarkE18(b *testing.B) { benchExperiment(b, "E18") } // byzantine joiner (extension)
 
 // Driver-level parallel benchmarks: the same table regenerated through
 // the sweep driver with all (row, trial) cells running concurrently.
@@ -224,6 +227,27 @@ func BenchmarkEngineChurnRoundThroughput(b *testing.B) {
 // between rounds on the coordinator).
 func BenchmarkEngineChurnRoundThroughputParallel8(b *testing.B) {
 	benchEngineChurnThroughput(b, 8)
+}
+
+// benchEngineChurnByzThroughput times the combined churn + adversary
+// workload (perf.NewChurnByzEngine — BENCH.json's engine/churn-byz/*):
+// two leaves and two joins per round while a roster keeps 1/16 of the
+// membership Byzantine, honest slots flooding and Byzantine slots
+// spamming beacon-sized payloads. Allocs/op reports the steady state: 0.
+func benchEngineChurnByzThroughput(b *testing.B, workers int) {
+	run, err := perf.NewChurnByzEngine(1024, 8, workers, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRoundThroughput(b, run)
+}
+
+func BenchmarkEngineChurnByzRoundThroughput(b *testing.B) {
+	benchEngineChurnByzThroughput(b, 1)
+}
+
+func BenchmarkEngineChurnByzRoundThroughputParallel8(b *testing.B) {
+	benchEngineChurnByzThroughput(b, 8)
 }
 
 func BenchmarkCongestBenignRun(b *testing.B) {

@@ -6,9 +6,12 @@
 //	byzcount list
 //	byzcount expt <id> [-seed N] [-trials N] [-quick]
 //	byzcount all [-seed N] [-trials N] [-quick]
-//	byzcount run [-proto congest|local|geometric|support] [-n N] [-d D]
-//	             [-byz B] [-attack spam|silent|fake] [-seed N]
+//	byzcount run [-proto congest|local|geometric|support|kmv|walk|tree]
+//	             [-n N] [-d D] [-byz B] [-attack spam|silent|fake|crash]
+//	             [-placement random|clustered|spread] [-seed N]
 //	             [-churn K [-churn-stop R]]
+//	byzcount matrix [-proto P,P] [-substrate S,S] [-adversary A,A]
+//	             [-placement P,P] [-n N,N] [-byz-frac F,F] [-churn K,K]
 package main
 
 import (
@@ -16,11 +19,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
-	"byzcount/internal/byzantine"
 	"byzcount/internal/counting"
-	"byzcount/internal/dynamic"
 	"byzcount/internal/expt"
 	"byzcount/internal/graph"
 	"byzcount/internal/perf"
@@ -48,6 +52,11 @@ func run(args []string) error {
 		for _, id := range expt.IDs() {
 			fmt.Println(" ", id)
 		}
+		fmt.Println("scenario axes (byzcount matrix / run):")
+		fmt.Println("  protocols: ", strings.Join(expt.ProtocolNames(), " "))
+		fmt.Println("  substrates:", strings.Join(expt.SubstrateNames(), " "))
+		fmt.Println("  adversaries:", strings.Join(expt.AdversaryNames(), " "))
+		fmt.Println("  placements:", strings.Join(expt.PlacementNames(), " "))
 		return nil
 	case "expt":
 		return exptCmd(args[1:], false)
@@ -55,6 +64,8 @@ func run(args []string) error {
 		return exptCmd(args[1:], true)
 	case "run":
 		return runCmd(args[1:])
+	case "matrix":
+		return matrixCmd(args[1:])
 	case "bench":
 		return benchCmd(args[1:])
 	case "graph":
@@ -70,19 +81,26 @@ func run(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  byzcount list                         list experiment IDs
+  byzcount list                         list experiment IDs and scenario axes
   byzcount expt <id> [flags]            run one experiment and print its table
   byzcount all [flags]                  run every experiment
-  byzcount run [flags]                  run a single protocol instance
+  byzcount run [flags]                  run a single scenario instance
+  byzcount matrix [flags]               run a slice of the scenario grid
   byzcount bench [flags]                run the perf suite and write BENCH.json
   byzcount graph [flags]                generate a substrate and print its statistics
 flags for expt/all: -seed N  -trials N  -quick  -parallel N
-flags for run:      -proto congest|local|geometric|support  -n N  -d D
-                    -byz B  -attack spam|silent|fake  -seed N  -parallel N
+flags for run:      -proto congest|local|geometric|support|kmv|walk|tree  -n N  -d D
+                    -byz B  -attack spam|silent|fake|crash
+                    -placement random|clustered|spread  -seed N  -parallel N
                     -churn K  -churn-stop R
 (-parallel defaults to GOMAXPROCS; outputs are identical for every value)
 (-churn K runs on the dynamically maintained H(n,d): K leaves + K joins
- between every pair of rounds, quiescing at round R; benign runs only)
+ between every pair of rounds, quiescing at round R; with -byz B the
+ roster maintains the Byzantine fraction B/n as the membership churns)
+flags for matrix:   comma-separated axis lists -proto -substrate -adversary
+                    -placement -n -byz-frac -churn, plus -churn-stop R  -d D
+                    -max-phase P  -stop-frac F  -seed N  -trials N  -parallel N
+                    -format table|csv
 flags for bench:    -quick  -out FILE  -filter SUBSTR  -parallel N
 flags for graph:    -kind hnd|regular|smallworld|ring|torus|dumbbell  -n N  -d D
                     -seed N  -out FILE`)
@@ -128,7 +146,7 @@ func exptCmd(args []string, all bool) error {
 }
 
 // benchCmd runs the standard perf suite (engine micro-benchmarks plus
-// the E1-E15 quick regenerations), prints one line per benchmark, and
+// the E1-E18 quick regenerations), prints one line per benchmark, and
 // records the machine-readable trajectory in BENCH.json — the artifact
 // CI archives on every run so performance changes leave a trace.
 func benchCmd(args []string) error {
@@ -242,13 +260,54 @@ func graphCmd(args []string) error {
 	return nil
 }
 
+// attackAdversaries maps a CLI -attack value to the scenario-registry
+// adversary for each protocol ("" = every protocol). The names here are
+// the CLI's stable vocabulary; the registry holds the implementations.
+var attackAdversaries = map[string]map[string]string{
+	"spam": {
+		"congest":   "spam",
+		"geometric": "geo-max",
+		"support":   "support-min",
+		"kmv":       "kmv-poison",
+		"tree":      "tree-inflate",
+		"":          "silent", // protocols with no value-faking attack
+	},
+	"silent": {"": "silent"},
+	"fake":   {"": "fake"},
+	"crash":  {"": "crash"},
+}
+
+// attackNames returns the valid -attack values, sorted.
+func attackNames() []string {
+	out := make([]string, 0, len(attackAdversaries))
+	for k := range attackAdversaries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// resolveAttack validates an -attack value and resolves it to the
+// adversary axis name for the given protocol.
+func resolveAttack(attack, proto string) (string, error) {
+	byProto, ok := attackAdversaries[attack]
+	if !ok {
+		return "", fmt.Errorf("unknown attack %q (valid: %s)", attack, strings.Join(attackNames(), "|"))
+	}
+	if adv, ok := byProto[proto]; ok {
+		return adv, nil
+	}
+	return byProto[""], nil
+}
+
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
-	proto := fs.String("proto", "congest", "protocol: congest|local|geometric|support")
+	proto := fs.String("proto", "congest", "protocol: congest|local|geometric|support|kmv|walk|tree")
 	n := fs.Int("n", 256, "network size")
 	d := fs.Int("d", 8, "degree (even for H(n,d))")
-	byzN := fs.Int("byz", 0, "number of Byzantine nodes")
-	attack := fs.String("attack", "spam", "attack: spam|silent|fake")
+	byzN := fs.Int("byz", 0, "number of Byzantine nodes (a fraction byz/n is maintained under churn)")
+	attack := fs.String("attack", "spam", "attack: spam|silent|fake|crash")
+	placement := fs.String("placement", "random", "placement: random|clustered|spread")
 	seed := fs.Uint64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"engine step-shard workers; runs are identical for every value")
@@ -259,125 +318,153 @@ func runCmd(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rng := xrand.New(*seed)
-	if *churn > 0 {
-		return runChurn(*proto, *n, *d, *byzN, *seed, *parallel, *churn, *churnStop, rng)
+	if *churnStop > 0 && *churn == 0 {
+		return fmt.Errorf("-churn-stop %d without -churn K has no effect; pass -churn or drop -churn-stop", *churnStop)
 	}
-	g, err := graph.HND(*n, *d, rng.Split("graph"))
+	adversary, err := resolveAttack(*attack, *proto)
 	if err != nil {
 		return err
 	}
-	var byz []bool
-	if *byzN > 0 {
-		byz, err = byzantine.RandomPlacement(g, *byzN, rng.Split("place"))
-		if err != nil {
-			return err
-		}
+	sc := expt.Scenario{
+		Proto:     *proto,
+		Substrate: "hnd",
+		Adversary: adversary,
+		Placement: *placement,
+		N:         *n,
+		D:         *d,
+		Byz:       *byzN,
+		MaxPhase:  12,
+		StopFrac:  1,
+		Churn:     expt.ChurnProfile{Leaves: *churn, Joins: *churn, StopAfter: *churnStop, Mixed: true},
+	}
+	out, err := expt.RunScenario(sc, xrand.New(*seed), *parallel)
+	if err != nil {
+		return err
+	}
+
+	m := out.Metrics
+	fmt.Printf("protocol=%s n=%d d=%d byz=%d attack=%s placement=%s seed=%d\n",
+		*proto, *n, *d, *byzN, *attack, *placement, *seed)
+	if out.Runner != nil {
+		fmt.Printf("churn=%d/round churn_stop=%d rounds=%d joined=%d left=%d alive=%d byz_alive=%d\n",
+			*churn, *churnStop, out.Rounds, out.Runner.Joined(), out.Runner.Left(),
+			out.Net.NumAlive(), out.Roster.Count())
 	} else {
-		byz = make([]bool, g.N())
+		fmt.Printf("rounds=%d\n", out.Rounds)
 	}
-
-	eng := sim.NewEngine(g, rng.Split("engine").Uint64())
-	eng.SetParallelism(*parallel)
-	procs := make([]sim.Proc, g.N())
-
-	congestParams, localParams, maxRounds, err := protoParams(*proto, *n, *d)
-	if err != nil {
-		return err
+	fmt.Printf("messages=%d bits=%d max_msg_bits=%d\n", m.Messages, m.Bits, m.MaxMsgBits)
+	note := ""
+	if out.Runner != nil {
+		note = " (over nodes alive at the end)"
 	}
-
-	var world *byzantine.FakeWorld
-	if *attack == "fake" {
-		world, err = byzantine.NewFakeWorld(2*(*n), *d, *d+2, max(*byzN, 1), rng.Split("world"))
-		if err != nil {
-			return err
-		}
-	}
-	for v := range procs {
-		if byz[v] {
-			switch *attack {
-			case "silent":
-				procs[v] = byzantine.Silent{}
-			case "fake":
-				procs[v] = byzantine.NewFakeNetworkLocal(world, 1)
-			default: // spam
-				switch *proto {
-				case "congest":
-					procs[v] = byzantine.NewBeaconSpammer(congestParams.Schedule, 6, false, rng.SplitN("spam", v))
-				case "geometric":
-					procs[v] = &byzantine.GeoMaxFaker{FakeValue: 1 << 20, Period: 1}
-				case "support":
-					procs[v] = &byzantine.SupportMinFaker{K: 32, Period: 4}
-				default:
-					procs[v] = byzantine.Silent{}
-				}
-			}
-			continue
-		}
-		procs[v] = benignProc(*proto, congestParams, localParams)
-	}
-	if err := eng.Attach(procs); err != nil {
-		return err
-	}
-	eng.SetStopCondition(func(round int) bool {
-		for v, p := range procs {
-			if byz[v] {
-				continue
-			}
-			if e, ok := p.(counting.Estimator); ok && !e.Outcome().Decided {
-				return false
-			}
-		}
-		return true
-	})
-	rounds, err := eng.Run(maxRounds)
-	if err != nil {
-		return err
-	}
-
-	m := eng.Metrics()
-	fmt.Printf("protocol=%s n=%d d=%d byz=%d attack=%s seed=%d\n",
-		*proto, *n, *d, *byzN, *attack, *seed)
-	fmt.Printf("rounds=%d messages=%d bits=%d max_msg_bits=%d\n",
-		rounds, m.Messages, m.Bits, m.MaxMsgBits)
-	printDecisions(counting.Outcomes(procs), byzantine.HonestMask(byz), *n, *d, m, "")
+	printDecisions(out.Outcomes, out.Honest, *n, *d, m, note)
 	return nil
 }
 
-// protoParams resolves a protocol's parameter set and round budget —
-// shared by the static and churn run paths so tuning lives in one place.
-func protoParams(proto string, n, d int) (counting.CongestParams, counting.LocalParams, int, error) {
-	var congestParams counting.CongestParams
-	var localParams counting.LocalParams
-	var maxRounds int
-	switch proto {
-	case "congest":
-		congestParams = counting.DefaultCongestParams(d)
-		congestParams.MaxPhase = 12
-		maxRounds = congestParams.Schedule.RoundsThroughPhase(congestParams.MaxPhase + 1)
-	case "local":
-		localParams = counting.DefaultLocalParams(d + 2)
-		maxRounds = localParams.MaxRounds + 8
-	case "geometric", "support":
-		maxRounds = 50 * n
-	default:
-		return congestParams, localParams, 0, fmt.Errorf("unknown protocol %q", proto)
+// splitList parses a comma-separated CLI list.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
 	}
-	return congestParams, localParams, maxRounds, nil
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
-// benignProc builds one honest process for the given protocol.
-func benignProc(proto string, congestParams counting.CongestParams, localParams counting.LocalParams) sim.Proc {
-	switch proto {
-	case "local":
-		return counting.NewLocalProc(localParams)
-	case "geometric":
-		return counting.NewGeometricProc(16)
-	case "support":
-		return counting.NewSupportProc(32, 16)
-	default:
-		return counting.NewCongestProc(congestParams)
+// splitInts parses a comma-separated int list.
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q in list %q", p, s)
+		}
+		out = append(out, v)
 	}
+	return out, nil
+}
+
+// splitFloats parses a comma-separated float list.
+func splitFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q in list %q", p, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// matrixCmd enumerates a slice of the scenario grid — the cross-product
+// of every comma-separated axis list — and runs it through the
+// concurrent sweep driver.
+func matrixCmd(args []string) error {
+	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
+	protos := fs.String("proto", "congest", "comma-separated protocol axis")
+	substrates := fs.String("substrate", "hnd", "comma-separated substrate axis")
+	adversaries := fs.String("adversary", "none", "comma-separated adversary axis")
+	placements := fs.String("placement", "random", "comma-separated placement axis")
+	ns := fs.String("n", "256", "comma-separated network sizes")
+	byzFracs := fs.String("byz-frac", "0", "comma-separated Byzantine fractions (0 = benign)")
+	churns := fs.String("churn", "0", "comma-separated churn rates (leaves=joins per round)")
+	churnStop := fs.Int("churn-stop", 150, "disable churn from this round on (0 = churn forever)")
+	d := fs.Int("d", 8, "degree parameter")
+	maxPhase := fs.Int("max-phase", 8, "congest phase cap (bounds hostile cells)")
+	stopFrac := fs.Float64("stop-frac", 0, "static cells: stop once this fraction of honest nodes decided")
+	seed := fs.Uint64("seed", 42, "root random seed")
+	trials := fs.Int("trials", 3, "trials per cell")
+	format := fs.String("format", "table", "output format: table|csv")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"max concurrent cells; tables are identical for every value")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nList, err := splitInts(*ns)
+	if err != nil {
+		return err
+	}
+	fracList, err := splitFloats(*byzFracs)
+	if err != nil {
+		return err
+	}
+	churnList, err := splitInts(*churns)
+	if err != nil {
+		return err
+	}
+	profiles := make([]expt.ChurnProfile, 0, len(churnList))
+	for _, k := range churnList {
+		profiles = append(profiles, expt.ChurnProfile{Leaves: k, Joins: k, StopAfter: *churnStop, Mixed: true})
+	}
+	m := expt.Matrix{
+		Protos:      splitList(*protos),
+		Substrates:  splitList(*substrates),
+		Adversaries: splitList(*adversaries),
+		Placements:  splitList(*placements),
+		Ns:          nList,
+		ByzFracs:    fracList,
+		Churns:      profiles,
+		D:           *d,
+		MaxPhase:    *maxPhase,
+		StopFrac:    *stopFrac,
+	}
+	cfg := expt.Config{Seed: *seed, Trials: *trials, Parallel: *parallel}
+	tbl, err := expt.RunMatrix(cfg, m)
+	if err != nil {
+		return err
+	}
+	if *format == "csv" {
+		fmt.Printf("# %s\n%s\n", tbl.Title, tbl.CSV())
+	} else {
+		fmt.Println(tbl.Render())
+	}
+	return nil
 }
 
 // printDecisions renders the decision metrics and traffic series shared
@@ -396,49 +483,4 @@ func printDecisions(outcomes []counting.Outcome, honest []bool, n, d int, m sim.
 		series := report.Downsample(report.Ints(m.MessagesByRound), 100)
 		fmt.Printf("traffic per round (downsampled): %s\n", report.Sparkline(series))
 	}
-}
-
-// runChurn executes one benign protocol instance on the dynamically
-// maintained H(n,d) topology under join/leave churn, on the unified
-// engine (so -parallel applies to churn runs exactly as to static ones).
-func runChurn(proto string, n, d, byzN int, seed uint64, parallel, churn, churnStop int, rng *xrand.Rand) error {
-	if byzN > 0 {
-		return fmt.Errorf("churn runs are benign-only for now; drop -byz or -churn")
-	}
-	net, err := dynamic.NewNetwork(n, d, rng.Split("net"))
-	if err != nil {
-		return err
-	}
-	congestParams, localParams, maxRounds, err := protoParams(proto, n, d)
-	if err != nil {
-		return err
-	}
-	factory := func(slot dynamic.Slot, id sim.NodeID) sim.Proc {
-		return benignProc(proto, congestParams, localParams)
-	}
-	run, err := dynamic.NewRunner(net,
-		dynamic.Churn{Leaves: churn, Joins: churn, StopAfter: churnStop, Mixed: true},
-		rng.Split("engine").Uint64(), factory)
-	if err != nil {
-		return err
-	}
-	run.SetParallelism(parallel)
-	rounds, err := run.Run(maxRounds)
-	if err != nil {
-		return err
-	}
-	if err := net.Validate(); err != nil {
-		return fmt.Errorf("topology invariant broken after run: %w", err)
-	}
-
-	procs, _ := run.AliveProcs()
-	m := run.Metrics()
-	fmt.Printf("protocol=%s n=%d d=%d churn=%d/round churn_stop=%d seed=%d\n",
-		proto, n, d, churn, churnStop, seed)
-	fmt.Printf("rounds=%d joined=%d left=%d alive=%d\n",
-		rounds, run.Joined(), run.Left(), net.NumAlive())
-	fmt.Printf("messages=%d bits=%d max_msg_bits=%d\n", m.Messages, m.Bits, m.MaxMsgBits)
-	printDecisions(counting.Outcomes(procs), byzantine.HonestMask(make([]bool, len(procs))),
-		n, d, m, " (over nodes alive at the end)")
-	return nil
 }

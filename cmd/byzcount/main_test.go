@@ -87,6 +87,80 @@ func TestRunUnknownProtocol(t *testing.T) {
 	}
 }
 
+func TestRunUnknownAttackFailsFast(t *testing.T) {
+	err := run([]string{"run", "-proto", "congest", "-n", "64", "-byz", "2", "-attack", "bogus"})
+	if err == nil {
+		t.Fatal("unknown attack accepted")
+	}
+	// The error must teach the valid vocabulary, not just reject.
+	for _, want := range []string{"crash", "fake", "silent", "spam"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("attack error %q does not list %q", err, want)
+		}
+	}
+}
+
+func TestRunChurnStopWithoutChurnRejected(t *testing.T) {
+	err := run([]string{"run", "-proto", "congest", "-n", "64", "-churn-stop", "50"})
+	if err == nil {
+		t.Fatal("-churn-stop without -churn accepted (it used to be silently ignored)")
+	}
+	if !strings.Contains(err.Error(), "-churn") {
+		t.Errorf("error %q does not explain the missing flag", err)
+	}
+}
+
+func TestRunUnknownPlacementFailsFast(t *testing.T) {
+	err := run([]string{"run", "-proto", "congest", "-n", "64", "-byz", "2", "-placement", "bogus"})
+	if err == nil {
+		t.Fatal("unknown placement accepted")
+	}
+	if !strings.Contains(err.Error(), "clustered") {
+		t.Errorf("placement error %q does not list the valid placements", err)
+	}
+}
+
+// TestRunChurnWithByzantine: the cross-product the CLI used to reject
+// ("churn runs are benign-only for now") runs end-to-end.
+func TestRunChurnWithByzantine(t *testing.T) {
+	if err := run([]string{"run", "-proto", "congest", "-n", "64", "-d", "8",
+		"-byz", "3", "-attack", "spam", "-churn", "2", "-churn-stop", "30", "-seed", "5"}); err != nil {
+		t.Fatalf("churn+byzantine run failed: %v", err)
+	}
+}
+
+func TestRunChurnCrashAttack(t *testing.T) {
+	if err := run([]string{"run", "-proto", "congest", "-n", "64", "-byz", "4",
+		"-attack", "crash", "-churn", "1", "-churn-stop", "20", "-seed", "5"}); err != nil {
+		t.Fatalf("churn+crash run failed: %v", err)
+	}
+}
+
+func TestMatrixRuns(t *testing.T) {
+	if err := run([]string{"matrix", "-proto", "congest", "-adversary", "none,spam",
+		"-byz-frac", "0,0.05", "-churn", "0,2", "-n", "48", "-trials", "1", "-max-phase", "6"}); err != nil {
+		t.Fatalf("matrix failed: %v", err)
+	}
+}
+
+func TestMatrixUnknownAxisValue(t *testing.T) {
+	if err := run([]string{"matrix", "-adversary", "bogus", "-n", "48", "-trials", "1"}); err == nil {
+		t.Fatal("unknown adversary axis value accepted")
+	}
+	if err := run([]string{"matrix", "-n", "48,oops"}); err == nil {
+		t.Fatal("malformed -n list accepted")
+	}
+}
+
+func TestMatrixAllIncompatibleIsError(t *testing.T) {
+	// spam needs congest: a grid slice with only incompatible cells must
+	// say so instead of printing an empty table.
+	if err := run([]string{"matrix", "-proto", "geometric", "-adversary", "spam",
+		"-byz-frac", "0.05", "-n", "48", "-trials", "1"}); err == nil {
+		t.Fatal("empty (all-skipped) matrix accepted")
+	}
+}
+
 func TestBenchWritesRecord(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH.json")
 	if err := run([]string{"bench", "-quick", "-filter", "engine/flood/serial", "-out", out}); err != nil {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,12 +18,15 @@ import (
 )
 
 const (
-	n    = 256
 	d    = 8
 	seed = 23
 )
 
+var n = 256 // -n flag
+
 func main() {
+	flag.IntVar(&n, "n", n, "network size")
+	flag.Parse()
 	rng := xrand.New(seed)
 	g, err := graph.HND(n, d, rng.Split("graph"))
 	if err != nil {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,12 +18,14 @@ import (
 )
 
 func main() {
+	nLeftFlag := flag.Int("n", 128, "left-bell size (the right bell is n and 8n)")
+	flag.Parse()
+	nLeft := *nLeftFlag
 	const (
-		nLeft = 128
-		d     = 8
-		seed  = 31
+		d    = 8
+		seed = 31
 	)
-	for _, nRight := range []int{128, 1024} {
+	for _, nRight := range []int{nLeft, 8 * nLeft} {
 		rng := xrand.New(seed) // same seed: identical left bell both times
 		g, bridge, err := graph.Dumbbell(nLeft, nRight, d, rng.Split("graph"))
 		if err != nil {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -19,8 +20,10 @@ import (
 )
 
 func main() {
+	nFlag := flag.Int("n", 512, "network size")
+	flag.Parse()
+	n := *nFlag
 	const (
-		n    = 512
 		d    = 8
 		seed = 17
 	)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -20,8 +21,10 @@ import (
 )
 
 func main() {
+	nFlag := flag.Int("n", 512, "network size")
+	flag.Parse()
+	n := *nFlag
 	const (
-		n    = 512
 		d    = 8
 		nByz = 4
 		seed = 11

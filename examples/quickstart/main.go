@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,15 +16,16 @@ import (
 )
 
 func main() {
+	n := flag.Int("n", 1024, "network size (unknown to the nodes!)")
+	flag.Parse()
 	const (
-		n    = 1024 // unknown to the nodes!
-		d    = 8    // H(n,d): union of d/2 random Hamiltonian cycles
+		d    = 8 // H(n,d): union of d/2 random Hamiltonian cycles
 		seed = 7
 	)
 	rng := xrand.New(seed)
 
 	// 1. Build the network substrate.
-	g, err := graph.HND(n, d, rng.Split("graph"))
+	g, err := graph.HND(*n, d, rng.Split("graph"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,7 +34,7 @@ func main() {
 	//    degree, their random ID, and the protocol constants.
 	params := counting.DefaultCongestParams(d)
 	eng := sim.NewEngine(g, rng.Split("engine").Uint64())
-	procs := make([]sim.Proc, n)
+	procs := make([]sim.Proc, *n)
 	for v := range procs {
 		procs[v] = counting.NewCongestProc(params)
 	}
@@ -57,11 +59,11 @@ func main() {
 	}
 	mode, count := hist.Mode()
 	m := eng.Metrics()
-	fmt.Printf("network: H(n=%d, d=%d)   (n unknown to the nodes)\n", n, d)
+	fmt.Printf("network: H(n=%d, d=%d)   (n unknown to the nodes)\n", *n, d)
 	fmt.Printf("finished in %d rounds, %d messages, largest message %d bits\n",
 		rounds, m.Messages, m.MaxMsgBits)
 	fmt.Printf("estimate histogram: %s\n", hist)
-	fmt.Printf("modal estimate: %d (held by %d/%d nodes)\n", mode, count, n)
-	fmt.Printf("truth: log_%d(n) = %.2f, log2(n) = %.2f\n", d, counting.LogD(n, d), counting.Log2(n))
+	fmt.Printf("modal estimate: %d (held by %d/%d nodes)\n", mode, count, *n)
+	fmt.Printf("truth: log_%d(n) = %.2f, log2(n) = %.2f\n", d, counting.LogD(*n, d), counting.Log2(*n))
 	fmt.Println("the modal estimate is a constant-factor estimate of log n (Theorem 2)")
 }

@@ -1,0 +1,137 @@
+package byzantine_test
+
+// Roster tests live in an external test package because they drive the
+// roster with a real dynamic.Runner (the dynamic package must not
+// become an import of byzantine proper).
+
+import (
+	"math"
+	"testing"
+
+	"byzcount/internal/byzantine"
+	"byzcount/internal/dynamic"
+	"byzcount/internal/sim"
+	"byzcount/internal/xrand"
+)
+
+func TestRosterValidation(t *testing.T) {
+	if _, err := byzantine.NewRoster(make([]bool, 8), 8, 1.5, xrand.New(1)); err == nil {
+		t.Error("target > 1 accepted")
+	}
+	if _, err := byzantine.NewRoster(make([]bool, 8), 8, -0.1, xrand.New(1)); err == nil {
+		t.Error("negative target accepted")
+	}
+	if _, err := byzantine.NewRoster(make([]bool, 8), 8, 0.5, nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+}
+
+func TestRosterBookkeeping(t *testing.T) {
+	initial := []bool{true, false, true, false}
+	r, err := byzantine.NewRoster(initial, 4, 0.5, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 2 || r.Alive() != 4 || r.Fraction() != 0.5 {
+		t.Fatalf("initial state: count=%d alive=%d frac=%v", r.Count(), r.Alive(), r.Fraction())
+	}
+	if !r.IsByz(0) || r.IsByz(1) {
+		t.Error("initial mask not honored")
+	}
+	r.OnLeave(0)
+	if r.Count() != 1 || r.Alive() != 3 {
+		t.Errorf("after byz leave: count=%d alive=%d", r.Count(), r.Alive())
+	}
+	r.OnLeave(1)
+	if r.Count() != 1 || r.Alive() != 2 {
+		t.Errorf("after honest leave: count=%d alive=%d", r.Count(), r.Alive())
+	}
+	// Record never consumes the stream and grows the slot space on
+	// demand.
+	r.Record(9, true)
+	if !r.IsByz(9) || r.Count() != 2 || r.Alive() != 3 {
+		t.Errorf("after Record: byz(9)=%v count=%d alive=%d", r.IsByz(9), r.Count(), r.Alive())
+	}
+}
+
+// TestRosterMaintainsFraction is the satellite guard: across 500 rounds
+// of real membership turnover (2 leaves + 2 joins per round, Mixed
+// randomness, so the membership genuinely rotates) the roster's
+// drift-free joiner rule keeps the realized Byzantine fraction pinned
+// to the target, every round, within a small band.
+func TestRosterMaintainsFraction(t *testing.T) {
+	const (
+		n      = 128
+		d      = 8
+		target = 0.25
+	)
+	rng := xrand.New(7001)
+	net, err := dynamic.NewNetwork(n, d, rng.Split("net"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask, err := byzantine.RandomPlacement(net, int(target*n), rng.Split("place"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roster, err := byzantine.NewRoster(mask, net.NumAlive(), target, rng.Split("roster"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := true
+	run, err := dynamic.NewRunner(net, dynamic.Churn{Leaves: 2, Joins: 2, Mixed: true}, 7002,
+		func(slot dynamic.Slot, id sim.NodeID) sim.Proc {
+			if !initial {
+				roster.OnJoin(slot)
+			}
+			return byzantine.Silent{}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial = false
+	run.SetLeaveHook(roster.OnLeave)
+
+	maxDev := 0.0
+	rounds := 0
+	run.Engine().SetStopCondition(func(round int) bool {
+		rounds++
+		if dev := math.Abs(roster.Fraction() - target); dev > maxDev {
+			maxDev = dev
+		}
+		// The roster's view of the population must track the substrate's
+		// exactly — a drifting Alive() count would silently skew the
+		// maintained fraction.
+		if roster.Alive() != net.NumAlive() {
+			t.Fatalf("round %d: roster tracks %d alive, network has %d", round, roster.Alive(), net.NumAlive())
+		}
+		count := 0
+		for s := 0; s < net.Slots(); s++ {
+			if net.Alive(s) && roster.IsByz(s) {
+				count++
+			}
+		}
+		if count != roster.Count() {
+			t.Fatalf("round %d: roster counts %d Byzantine, mask holds %d", round, roster.Count(), count)
+		}
+		return false
+	})
+	if _, err := run.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 500 {
+		t.Fatalf("ran %d rounds, want 500", rounds)
+	}
+	if run.Joined() < 900 {
+		t.Fatalf("only %d joins in 500 rounds; turnover is degenerate", run.Joined())
+	}
+	// Departures hit the fraction hypergeometrically and every join
+	// re-centers its expectation on the target; over 500 rounds the
+	// realized fraction must stay within a few members of it.
+	if tol := 6.0 / n; maxDev > tol {
+		t.Errorf("Byzantine fraction drifted %.4f from target %.2f (tolerance %.4f)", maxDev, target, tol)
+	}
+	if end := math.Abs(roster.Fraction() - target); end > 4.0/n {
+		t.Errorf("final fraction %.4f is %.4f off target", roster.Fraction(), end)
+	}
+}

@@ -63,6 +63,11 @@ type Runner struct {
 	// under the legacy derivation. Allocation-free either way.
 	leaveRng, joinRng *xrand.Rand
 
+	// onLeave, if non-nil, observes every departure (before the engine
+	// detaches the slot) — the hook Byzantine rosters use to keep their
+	// fraction accounting in step with the membership.
+	onLeave func(slot Slot)
+
 	joined, left int
 }
 
@@ -111,6 +116,13 @@ func (r *Runner) SetParallelism(workers int) { r.eng.SetParallelism(workers) }
 // Network returns the underlying topology.
 func (r *Runner) Network() *Network { return r.net }
 
+// SetLeaveHook registers a callback invoked for every departure, with
+// the departing slot, before the engine detaches it. Arrivals need no
+// counterpart: the ProcFactory already observes every join. Together
+// they let scenario-level state (e.g. a byzantine.Roster maintaining an
+// adversary fraction) follow the membership exactly.
+func (r *Runner) SetLeaveHook(fn func(slot Slot)) { r.onLeave = fn }
+
 // Metrics returns the engine's accumulated measurements.
 func (r *Runner) Metrics() sim.Metrics { return r.eng.Metrics() }
 
@@ -153,6 +165,9 @@ func (r *Runner) apply(round int) error {
 			r.leaveRng = r.rng.SplitInto("leave", r.leaveRng)
 		}
 		s := r.net.RandomAlive(r.leaveRng)
+		if r.onLeave != nil {
+			r.onLeave(s)
+		}
 		if err := r.net.Leave(s); err != nil {
 			return fmt.Errorf("dynamic: leave: %w", err)
 		}

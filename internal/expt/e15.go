@@ -4,8 +4,6 @@ import (
 	"fmt"
 
 	"byzcount/internal/counting"
-	"byzcount/internal/dynamic"
-	"byzcount/internal/sim"
 	"byzcount/internal/stats"
 	"byzcount/internal/xrand"
 )
@@ -37,39 +35,28 @@ func E15(cfg Config) (*Table, error) {
 	results, err := sweepRows(cfg, root, perRounds,
 		func(perRound int) string { return fmt.Sprintf("e15-%d", perRound) },
 		func(perRound, trial int, rng *xrand.Rand) (res, error) {
-			net, err := dynamic.NewNetwork(n, d, rng.Split("net"))
-			if err != nil {
-				return res{}, err
-			}
-			params := counting.DefaultCongestParams(d)
-			params.MaxPhase = 8
-			// Legacy (non-Mixed) event randomness: the published tables pin
-			// the original churn engine's per-event stream derivation, under
+			// The benign churn cell of the scenario grid. Legacy
+			// (non-Mixed) event randomness: the published tables pin the
+			// original churn engine's per-event stream derivation, under
 			// which balanced churn recycles the same few slots (see
-			// Churn.Mixed). Turnover below therefore counts departures, not
-			// distinct departed nodes.
-			churn := dynamic.Churn{Leaves: perRound, Joins: perRound, StopAfter: 150}
-			// The factory's CongestProc builds each round's output with the
-			// append-into-scratch idiom (Env.Scratch/AppendBroadcast), and
-			// the unified engine recycles slot state across joins, so churn
-			// rounds are allocation-free like every other workload (see
-			// internal/sim/alloc_test.go's churn case).
-			eng, err := dynamic.NewRunner(net, churn, rng.Split("eng").Uint64(),
-				func(slot dynamic.Slot, id sim.NodeID) sim.Proc {
-					return counting.NewCongestProc(params)
-				})
+			// Churn.Mixed). Turnover below therefore counts departures,
+			// not distinct departed nodes. The factory's CongestProc
+			// builds each round's output with the append-into-scratch
+			// idiom, and the unified engine recycles slot state across
+			// joins, so churn rounds are allocation-free like every other
+			// workload (see internal/sim/alloc_test.go's churn case).
+			r, err := RunScenario(Scenario{
+				Proto: "congest", Substrate: "hnd", Dynamic: true,
+				N: n, D: d, MaxPhase: 8,
+				Churn: ChurnProfile{Leaves: perRound, Joins: perRound, StopAfter: 150},
+			}, rng, 1)
 			if err != nil {
 				return res{}, err
 			}
-			if _, err := eng.Run(params.Schedule.RoundsThroughPhase(params.MaxPhase + 1)); err != nil {
-				return res{}, err
-			}
-			out := res{turnover: float64(eng.Left()) / float64(n)}
-			procs, _ := eng.AliveProcs()
+			out := res{turnover: float64(r.Runner.Left()) / float64(n)}
 			dec, bnd := 0, 0
 			logd := counting.LogD(n, d)
-			for _, p := range procs {
-				o := p.(*counting.CongestProc).Outcome()
+			for _, o := range r.Outcomes {
 				if !o.Decided {
 					continue
 				}
@@ -79,8 +66,8 @@ func E15(cfg Config) (*Table, error) {
 					bnd++
 				}
 			}
-			out.decided = float64(dec) / float64(len(procs))
-			out.bounded = float64(bnd) / float64(len(procs))
+			out.decided = float64(dec) / float64(len(r.Procs))
+			out.bounded = float64(bnd) / float64(len(r.Procs))
 			return out, nil
 		})
 	if err != nil {

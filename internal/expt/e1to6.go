@@ -220,40 +220,33 @@ func E3(cfg Config) (*Table, error) {
 		func(n int) string { return fmt.Sprintf("e3-n%d", n) },
 		func(n, trial int, rng *xrand.Rand) (res, error) {
 			b := byzCount(n, 0.45)
-			g, err := hnd(n, d, rng.Split("graph"))
-			if err != nil {
-				return res{}, err
-			}
-			byz, err := byzantine.RandomPlacement(g, b, rng.Split("place"))
-			if err != nil {
-				return res{}, err
-			}
-			params := counting.DefaultCongestParams(d)
-			params.MaxPhase = 9
-			r, err := runProtocol(g, byz, rng.Split("run").Uint64(),
-				func(v int, eng *sim.Engine) sim.Proc { return counting.NewCongestProc(params) },
-				func(v int, eng *sim.Engine) sim.Proc {
-					return byzantine.NewBeaconSpammer(params.Schedule, 6, false, rng.SplitN("spam", v))
-				},
-				congestMaxRounds(params), true)
+			// One cell of the scenario grid: the spec lines up with the
+			// axes (protocol, substrate, adversary, placement, scale) and
+			// RunScenario reproduces the hand-wired runner byte-for-byte.
+			r, err := RunScenario(Scenario{
+				Proto: "congest", Substrate: "hnd",
+				Adversary: "spam", Placement: "random",
+				N: n, D: d, Byz: b, MaxPhase: 9, StopFrac: 1,
+			}, rng, 1)
 			if err != nil {
 				return res{}, err
 			}
 			logd := counting.LogD(n, d)
+			maxPhase := 9.0
 			out := res{
-				decided: counting.DecidedFraction(r.outcomes, r.honest),
-				bounded: counting.FractionWithinFactor(r.outcomes, r.honest,
+				decided: counting.DecidedFraction(r.Outcomes, r.Honest),
+				bounded: counting.FractionWithinFactor(r.Outcomes, r.Honest,
 					0.5*logd, 2*logd+2),
 				// The sacrificed set: nodes dragged to the phase cap, i.e.
 				// (essentially) the spammers' direct neighbors. Its fraction
 				// is the beta of Theorem 2 and must shrink as n grows
 				// (B*d/n ~ d*n^-0.55).
-				sacrificed: counting.FractionWithinFactor(r.outcomes, r.honest,
-					float64(params.MaxPhase), 1e18),
+				sacrificed: counting.FractionWithinFactor(r.Outcomes, r.Honest,
+					maxPhase, 1e18),
 			}
 			var rounds []float64
-			for v, o := range r.outcomes {
-				if !r.honest[v] || !o.Decided {
+			for v, o := range r.Outcomes {
+				if !r.Honest[v] || !o.Decided {
 					continue
 				}
 				rounds = append(rounds, float64(o.Round))
@@ -433,122 +426,63 @@ func E6(cfg Config) (*Table, error) {
 	root := xrand.New(cfg.Seed)
 	truthLog2 := counting.Log2(n)
 
-	type scenario struct {
+	// Each row is one cell of the scenario grid: the baseline protocols
+	// and their one-node killers are just (protocol, adversary) axis
+	// values, decided estimates post-processed per protocol family.
+	medianEst := func(r *ScenarioOutcome) float64 {
+		vals := counting.DecidedEstimates(r.Outcomes, r.Honest)
+		return stats.Median(stats.Ints(vals))
+	}
+	logMedianEst := func(r *ScenarioOutcome) float64 {
+		vals := counting.DecidedEstimates(r.Outcomes, r.Honest)
+		if len(vals) == 0 {
+			return 0
+		}
+		return math.Log2(math.Max(1, stats.Median(stats.Ints(vals))))
+	}
+	type row struct {
 		name  string
 		byz   int
 		truth float64
-		run   func(rng *xrand.Rand, g *graph.Graph, byz []bool) (float64, error)
+		sc    Scenario
+		post  func(*ScenarioOutcome) float64
 	}
-	geoRun := func(rng *xrand.Rand, g *graph.Graph, byz []bool) (float64, error) {
-		res, err := runProtocol(g, byz, rng.Uint64(),
-			func(v int, eng *sim.Engine) sim.Proc { return counting.NewGeometricProc(16) },
-			func(v int, eng *sim.Engine) sim.Proc { return &byzantine.GeoMaxFaker{FakeValue: 1 << 20, Period: 1} },
-			4000, false)
-		if err != nil {
-			return 0, err
-		}
-		vals := counting.DecidedEstimates(res.outcomes, res.honest)
-		return stats.Median(stats.Ints(vals)), nil
+	mk := func(name string, byz int, truth float64, sc Scenario, post func(*ScenarioOutcome) float64) row {
+		sc.N, sc.D, sc.Byz = n, d, byz
+		return row{name, byz, truth, sc, post}
 	}
-	supRun := func(rng *xrand.Rand, g *graph.Graph, byz []bool) (float64, error) {
-		res, err := runProtocol(g, byz, rng.Uint64(),
-			func(v int, eng *sim.Engine) sim.Proc { return counting.NewSupportProc(32, 16) },
-			func(v int, eng *sim.Engine) sim.Proc { return &byzantine.SupportMinFaker{K: 32, Period: 4} },
-			4000, false)
-		if err != nil {
-			return 0, err
-		}
-		vals := counting.DecidedEstimates(res.outcomes, res.honest)
-		return stats.Median(stats.Ints(vals)), nil
+	rows := []row{
+		mk("geometric", 0, truthLog2, Scenario{Proto: "geometric", Adversary: "geo-max", MaxRounds: 4000}, medianEst),
+		mk("geometric", 1, truthLog2, Scenario{Proto: "geometric", Adversary: "geo-max", MaxRounds: 4000}, medianEst),
+		mk("support", 0, truthLog2, Scenario{Proto: "support", Adversary: "support-min", MaxRounds: 4000}, medianEst),
+		mk("support", 1, truthLog2, Scenario{Proto: "support", Adversary: "support-min", MaxRounds: 4000}, medianEst),
+		mk("birthday-kmv", 0, truthLog2, Scenario{Proto: "kmv", Adversary: "kmv-poison", MaxRounds: 4000}, medianEst),
+		mk("birthday-kmv", 1, truthLog2, Scenario{Proto: "kmv", Adversary: "kmv-poison", MaxRounds: 4000}, medianEst),
+		mk("return-walk", 0, truthLog2, Scenario{Proto: "walk", Adversary: "silent"}, medianEst), // walk absorber
+		mk("return-walk", 4, truthLog2, Scenario{Proto: "walk", Adversary: "silent"}, medianEst),
+		mk("spanning-tree", 0, truthLog2, Scenario{Proto: "tree", Adversary: "tree-inflate"}, logMedianEst),
+		mk("spanning-tree", 1, truthLog2, Scenario{Proto: "tree", Adversary: "tree-inflate"}, logMedianEst),
+		mk("congest(paper)", 0, counting.LogD(n, d),
+			Scenario{Proto: "congest", Adversary: "spam-shared", MaxPhase: 12, StopFrac: 1}, medianEst),
+		mk("congest(paper)", byzCount(n, 0.45), counting.LogD(n, d),
+			Scenario{Proto: "congest", Adversary: "spam-shared", MaxPhase: 12, StopFrac: 1}, medianEst),
 	}
-	treeRun := func(rng *xrand.Rand, g *graph.Graph, byz []bool) (float64, error) {
-		res, err := runProtocol(g, byz, rng.Uint64(),
-			func(v int, eng *sim.Engine) sim.Proc { return counting.NewTreeCountProc(v == findRoot(byz)) },
-			func(v int, eng *sim.Engine) sim.Proc { return &byzantine.TreeCountInflater{Inflation: 1 << 20} },
-			20*n, false)
-		if err != nil {
-			return 0, err
-		}
-		vals := counting.DecidedEstimates(res.outcomes, res.honest)
-		if len(vals) == 0 {
-			return 0, nil
-		}
-		return math.Log2(math.Max(1, stats.Median(stats.Ints(vals)))), nil
-	}
-	kmvRun := func(rng *xrand.Rand, g *graph.Graph, byz []bool) (float64, error) {
-		res, err := runProtocol(g, byz, rng.Uint64(),
-			func(v int, eng *sim.Engine) sim.Proc { return counting.NewKMVProc(32, 16) },
-			func(v int, eng *sim.Engine) sim.Proc { return &byzantine.KMVPoisoner{K: 32, Period: 4} },
-			4000, false)
-		if err != nil {
-			return 0, err
-		}
-		vals := counting.DecidedEstimates(res.outcomes, res.honest)
-		return stats.Median(stats.Ints(vals)), nil
-	}
-	walkRun := func(rng *xrand.Rand, g *graph.Graph, byz []bool) (float64, error) {
-		res, err := runProtocol(g, byz, rng.Uint64(),
-			func(v int, eng *sim.Engine) sim.Proc { return counting.NewReturnWalkProc(4, 64*g.N()) },
-			func(v int, eng *sim.Engine) sim.Proc { return byzantine.Silent{} }, // walk absorber
-			100*g.N(), false)
-		if err != nil {
-			return 0, err
-		}
-		vals := counting.DecidedEstimates(res.outcomes, res.honest)
-		return stats.Median(stats.Ints(vals)), nil
-	}
-	congestRun := func(rng *xrand.Rand, g *graph.Graph, byz []bool) (float64, error) {
-		params := counting.DefaultCongestParams(d)
-		params.MaxPhase = 12
-		res, err := runProtocol(g, byz, rng.Uint64(),
-			func(v int, eng *sim.Engine) sim.Proc { return counting.NewCongestProc(params) },
-			func(v int, eng *sim.Engine) sim.Proc {
-				return byzantine.NewBeaconSpammer(params.Schedule, 6, false, rng.Split("spamr"))
-			},
-			congestMaxRounds(params), true)
-		if err != nil {
-			return 0, err
-		}
-		vals := counting.DecidedEstimates(res.outcomes, res.honest)
-		return stats.Median(stats.Ints(vals)), nil
-	}
-	scenarios := []scenario{
-		{"geometric", 0, truthLog2, geoRun},
-		{"geometric", 1, truthLog2, geoRun},
-		{"support", 0, truthLog2, supRun},
-		{"support", 1, truthLog2, supRun},
-		{"birthday-kmv", 0, truthLog2, kmvRun},
-		{"birthday-kmv", 1, truthLog2, kmvRun},
-		{"return-walk", 0, truthLog2, walkRun},
-		{"return-walk", 4, truthLog2, walkRun},
-		{"spanning-tree", 0, truthLog2, treeRun},
-		{"spanning-tree", 1, truthLog2, treeRun},
-		{"congest(paper)", 0, counting.LogD(n, d), congestRun},
-		{"congest(paper)", byzCount(n, 0.45), counting.LogD(n, d), congestRun},
-	}
-	results, err := sweepRows(cfg, root, scenarios,
-		func(sc scenario) string { return fmt.Sprintf("e6-%s-%d", sc.name, sc.byz) },
-		func(sc scenario, trial int, rng *xrand.Rand) (float64, error) {
-			g, err := hnd(n, d, rng.Split("graph"))
+	results, err := sweepRows(cfg, root, rows,
+		func(rw row) string { return fmt.Sprintf("e6-%s-%d", rw.name, rw.byz) },
+		func(rw row, trial int, rng *xrand.Rand) (float64, error) {
+			r, err := RunScenario(rw.sc, rng, 1)
 			if err != nil {
 				return 0, err
 			}
-			var byz []bool
-			if sc.byz > 0 {
-				byz, err = byzantine.RandomPlacement(g, sc.byz, rng.Split("place"))
-				if err != nil {
-					return 0, err
-				}
-			}
-			return sc.run(rng.Split("run"), g, byz)
+			return rw.post(r), nil
 		})
 	if err != nil {
 		return nil, err
 	}
-	for i, sc := range scenarios {
+	for i, rw := range rows {
 		med := stats.Mean(results[i])
-		relErr := math.Abs(med-sc.truth) / math.Max(sc.truth, 1)
-		t.AddRow(sc.name, sc.byz, med, sc.truth, relErr)
+		relErr := math.Abs(med-rw.truth) / math.Max(rw.truth, 1)
+		t.AddRow(rw.name, rw.byz, med, rw.truth, relErr)
 	}
 	t.Notes = append(t.Notes,
 		"spanning-tree medians are log2 of the counted total; the congest protocol estimates log_d n")

@@ -393,52 +393,36 @@ func E12(cfg Config) (*Table, error) {
 	}
 	b := byzCount(n, 0.45)
 	root := xrand.New(cfg.Seed)
-	type placementRow struct {
-		name string
-		p    byzantine.Placement
-	}
-	placements := []placementRow{
-		{"random", byzantine.RandomPlacement},
-		{"clustered", byzantine.ClusteredPlacement},
-		{"spread", byzantine.SpreadPlacement},
-	}
+	// The placement axis straight off the scenario registry: E12 *is* a
+	// one-axis slice of the scenario grid. (Row order is the published
+	// tables', not the registry's sorted order.)
+	placements := []string{"random", "clustered", "spread"}
 	type res struct {
 		decided, bounded, nearMean, farMean float64
 		hasNear, hasFar                     bool
 	}
 	results, err := sweepRows(cfg, root, placements,
-		func(pl placementRow) string { return "e12-" + pl.name },
-		func(pl placementRow, trial int, rng *xrand.Rand) (res, error) {
-			g, err := hnd(n, d, rng.Split("graph"))
-			if err != nil {
-				return res{}, err
-			}
-			byz, err := pl.p(g, b, rng.Split("place"))
-			if err != nil {
-				return res{}, err
-			}
-			params := counting.DefaultCongestParams(d)
-			params.MaxPhase = 10
-			r, err := runProtocol(g, byz, rng.Split("run").Uint64(),
-				func(v int, eng *sim.Engine) sim.Proc { return counting.NewCongestProc(params) },
-				func(v int, eng *sim.Engine) sim.Proc {
-					return byzantine.NewBeaconSpammer(params.Schedule, 6, false, rng.SplitN("spam", v))
-				},
-				congestMaxRounds(params), true)
+		func(name string) string { return "e12-" + name },
+		func(name string, trial int, rng *xrand.Rand) (res, error) {
+			r, err := RunScenario(Scenario{
+				Proto: "congest", Substrate: "hnd",
+				Adversary: "spam", Placement: name,
+				N: n, D: d, Byz: b, MaxPhase: 10, StopFrac: 1,
+			}, rng, 1)
 			if err != nil {
 				return res{}, err
 			}
 			logd := counting.LogD(n, d)
 			out := res{
-				decided: counting.DecidedFraction(r.outcomes, r.honest),
-				bounded: counting.FractionWithinFactor(r.outcomes, r.honest,
+				decided: counting.DecidedFraction(r.Outcomes, r.Honest),
+				bounded: counting.FractionWithinFactor(r.Outcomes, r.Honest,
 					0.5*logd, 2*logd+3),
 			}
-			far := farMask(g, byz, 2)
+			far := farMask(r.Graph, r.Byz, 2)
 			var nsum, fsum float64
 			var ncnt, fcnt int
-			for v, o := range r.outcomes {
-				if !r.honest[v] || !o.Decided {
+			for v, o := range r.Outcomes {
+				if !r.Honest[v] || !o.Decided {
 					continue
 				}
 				if far[v] {
@@ -464,7 +448,7 @@ func E12(cfg Config) (*Table, error) {
 	}
 	for i, pl := range placements {
 		rs := results[i]
-		t.AddRow(pl.name,
+		t.AddRow(pl,
 			stats.Mean(column(rs, func(r res) float64 { return r.decided })),
 			stats.Mean(column(rs, func(r res) float64 { return r.bounded })),
 			stats.Mean(columnIf(rs, func(r res) bool { return r.hasNear },

@@ -1,8 +1,11 @@
-// Package expt is the benchmark harness of the reproduction: one runner
-// per experiment E1-E12 (see DESIGN.md for the experiment index mapping
-// each to a claim of the paper). Each runner generates its workload,
+// Package expt is the experiment harness of the reproduction: one
+// runner per experiment E1-E18 (see DESIGN.md for the experiment index
+// mapping each to a claim of the paper), the concurrent sweep driver
+// they share, and the scenario-composition layer (scenario.go) that
+// makes protocol x substrate x adversary x placement x churn an
+// enumerable grid (matrix.go). Each runner generates its workload,
 // sweeps its parameters, and returns a Table whose rows are the series
-// the paper's claims predict. EXPERIMENTS.md records claim-vs-measured.
+// the paper's claims predict.
 package expt
 
 import (
@@ -138,6 +141,9 @@ var Registry = map[string]Runner{
 	"E13": E13,
 	"E14": E14,
 	"E15": E15,
+	"E16": E16,
+	"E17": E17,
+	"E18": E18,
 }
 
 // IDs returns the registered experiment IDs in order.

@@ -54,10 +54,11 @@ func TestSweepRowsErrorPropagation(t *testing.T) {
 // collected in deterministic order. The subset below covers every
 // runner shape: n-sweeps (E1, E3), scenario rows sharing a histogram
 // (E4, E14), the shared-label rows of the impossibility experiment
-// (E10), the shared-FakeWorld LOCAL attack (E2), crash churn (E13), and
-// the dynamic-network engine (E15).
+// (E10), the shared-FakeWorld LOCAL attack (E2), crash churn (E13), the
+// dynamic-network engine (E15), and the churn x Byzantine cross-product
+// cells (E16, E18 — roster-maintained fractions and Byzantine joiners).
 func TestTablesIdenticalAcrossParallelism(t *testing.T) {
-	ids := []string{"E1", "E2", "E3", "E4", "E10", "E13", "E14", "E15"}
+	ids := []string{"E1", "E2", "E3", "E4", "E10", "E13", "E14", "E15", "E16", "E18"}
 	if testing.Short() {
 		ids = []string{"E3", "E10"}
 	}

@@ -43,7 +43,16 @@ func runProtocol(g *graph.Graph, byz []bool, seed uint64, honestProc, byzProc mk
 // stragglers may never decide on their own). stopFrac <= 0 runs to halt.
 func runProtocolFrac(g *graph.Graph, byz []bool, seed uint64, honestProc, byzProc mkProc,
 	maxRounds int, stopFrac float64) (runOutcome, error) {
+	return runProtocolFracPar(g, byz, seed, honestProc, byzProc, maxRounds, stopFrac, 1)
+}
+
+// runProtocolFracPar is runProtocolFrac with an explicit engine
+// Step-shard worker count (1 = serial; executions are bit-identical for
+// every value, so only the CLI ever passes anything else).
+func runProtocolFracPar(g *graph.Graph, byz []bool, seed uint64, honestProc, byzProc mkProc,
+	maxRounds int, stopFrac float64, workers int) (runOutcome, error) {
 	eng := sim.NewEngine(g, seed)
+	eng.SetParallelism(workers)
 	procs := make([]sim.Proc, g.N())
 	for v := range procs {
 		if byz != nil && byz[v] {

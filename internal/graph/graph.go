@@ -85,6 +85,28 @@ func (g *Graph) Adj(u int) []int32 {
 	return g.adj[u]
 }
 
+// Slots returns the vertex-slot count — for a static graph, simply N().
+// Together with Alive and AppendNeighbors this makes *Graph satisfy the
+// substrate view shared with mutable topologies (byzantine.Substrate),
+// so placements and adversaries target static and churning networks
+// through one interface.
+func (g *Graph) Slots() int { return len(g.adj) }
+
+// Alive reports whether slot u hosts a node; on a static graph every
+// vertex is always alive.
+func (g *Graph) Alive(u int) bool { return u >= 0 && u < len(g.adj) }
+
+// AppendNeighbors appends u's neighbor multiset to buf and returns the
+// extended slice, in adjacency order — the allocation-free counterpart
+// of Neighbors, matching sim.Topology's accessor.
+func (g *Graph) AppendNeighbors(u int, buf []int) []int {
+	g.check(u)
+	for _, w := range g.adj[u] {
+		buf = append(buf, int(w))
+	}
+	return buf
+}
+
 // HasEdge reports whether at least one edge joins u and v.
 func (g *Graph) HasEdge(u, v int) bool {
 	g.check(u)

@@ -56,13 +56,13 @@ func TestMeasureCalibrates(t *testing.T) {
 	}
 }
 
-// TestSuiteShape: the suite covers the engine micro-benchmarks (static
-// and churn) and all fifteen experiments, names are unique, and the
-// filter selects by substring.
+// TestSuiteShape: the suite covers the engine micro-benchmarks
+// (static, churn, and churn-byz) and all eighteen experiments, names
+// are unique, and the filter selects by substring.
 func TestSuiteShape(t *testing.T) {
 	suite := Suite(SuiteConfig{Quick: true})
-	if len(suite) != 6+15 {
-		t.Fatalf("suite has %d benchmarks, want 21", len(suite))
+	if len(suite) != 8+18 {
+		t.Fatalf("suite has %d benchmarks, want 26", len(suite))
 	}
 	seen := map[string]bool{}
 	experiments := 0
@@ -78,14 +78,17 @@ func TestSuiteShape(t *testing.T) {
 			}
 		}
 	}
-	if experiments != 15 {
-		t.Errorf("suite has %d experiment benchmarks, want 15", experiments)
+	if experiments != 18 {
+		t.Errorf("suite has %d experiment benchmarks, want 18", experiments)
 	}
 	if !seen["engine/flood/serial/n=1024"] {
 		t.Error("suite is missing engine/flood/serial/n=1024")
 	}
 	if !seen["engine/churn-flood/serial/n=1024"] {
 		t.Error("suite is missing engine/churn-flood/serial/n=1024")
+	}
+	if !seen["engine/churn-byz/serial/n=1024"] {
+		t.Error("suite is missing engine/churn-byz/serial/n=1024")
 	}
 	filtered := Suite(SuiteConfig{Quick: true, Filter: "engine/flood"})
 	if len(filtered) != 3 {

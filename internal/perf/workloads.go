@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"byzcount/internal/byzantine"
 	"byzcount/internal/counting"
 	"byzcount/internal/dynamic"
 	"byzcount/internal/expt"
@@ -95,6 +96,108 @@ func NewChurnFloodEngine(n, d, workers, perRound int) (*dynamic.Runner, error) {
 	}
 	run.SetParallelism(workers)
 	return run, nil
+}
+
+// SpamProc is the adversary side of the churn-byz workload: a
+// Byzantine node that broadcasts a beacon-sized payload every round.
+// Like the honest FloodProc it is stateless and shared across slots, and
+// its payload is a zero-size struct, so adversary traffic adds zero
+// allocations — which is what lets the churn-byz gate hold the combined
+// churn + adversary path to the same 0 allocs/round budget as the
+// benign flood.
+type SpamProc struct{}
+
+// SpamPayload mimics a 6-hop beacon's wire size (origin + path + tag).
+type SpamPayload struct{}
+
+// SizeBits reports the payload size.
+func (SpamPayload) SizeBits() int { return 16 + 64 + 64*6 }
+
+// Step broadcasts the spam payload on every incident edge.
+func (*SpamProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
+	return env.Broadcast(SpamPayload{})
+}
+
+// Halted is always false: the adversary never stops.
+func (*SpamProc) Halted() bool { return false }
+
+// spamProcShared is the one SpamProc instance every Byzantine slot
+// shares, mirroring floodProcShared.
+var spamProcShared SpamProc
+
+// churnByzFrac is the Byzantine fraction the churn-byz workload's
+// roster maintains (1/16 of the membership).
+const churnByzFrac = 1.0 / 16
+
+// NewChurnByzEngine builds the combined churn + adversary workload: the
+// dynamically maintained H(n,d) under perRound leaves and joins per
+// round (Mixed randomness, forever), with a byzantine.Roster keeping
+// 1/16 of the membership Byzantine as it turns over — initial members
+// by RandomPlacement, joiners by the roster's drift-free Bernoulli
+// draw. Honest slots flood, Byzantine slots spam beacon-sized payloads.
+// Steady-state rounds — turnover, cycle repair, roster re-evaluation,
+// epoch-driven re-resolution, adversary traffic included — allocate
+// exactly 0 (the engine/churn-byz gate).
+func NewChurnByzEngine(n, d, workers, perRound int) (*dynamic.Runner, error) {
+	net, err := dynamic.NewNetwork(n, d, xrand.New(4))
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.New(6)
+	mask, err := byzantine.RandomPlacement(net, int(churnByzFrac*float64(n)), rng.Split("place"))
+	if err != nil {
+		return nil, err
+	}
+	roster, err := byzantine.NewRoster(mask, net.NumAlive(), churnByzFrac, rng.Split("roster"))
+	if err != nil {
+		return nil, err
+	}
+	initial := true
+	run, err := dynamic.NewRunner(net, dynamic.Churn{Leaves: perRound, Joins: perRound, Mixed: true}, 5,
+		func(slot dynamic.Slot, id sim.NodeID) sim.Proc {
+			isByz := roster.IsByz(slot)
+			if !initial {
+				isByz = roster.OnJoin(slot)
+			}
+			if isByz {
+				return &spamProcShared
+			}
+			return &floodProcShared
+		})
+	if err != nil {
+		return nil, err
+	}
+	initial = false
+	run.SetLeaveHook(roster.OnLeave)
+	run.SetParallelism(workers)
+	return run, nil
+}
+
+// churnByzBenchmark measures rounds/sec and msgs/sec on the churn-byz
+// workload; one iteration is one round with its between-rounds churn
+// and roster re-evaluation.
+func churnByzBenchmark(name string, n, d, workers, perRound int, minTime time.Duration) Benchmark {
+	return Benchmark{
+		Name:    name,
+		Warmup:  64,
+		MinTime: minTime,
+		Setup: func() (func(int) (Totals, error), error) {
+			run, err := NewChurnByzEngine(n, d, workers, perRound)
+			if err != nil {
+				return nil, err
+			}
+			return func(iters int) (Totals, error) {
+				before := run.Metrics().Messages
+				if _, err := run.Run(iters); err != nil {
+					return Totals{}, err
+				}
+				return Totals{
+					Msgs:   run.Metrics().Messages - before,
+					Rounds: int64(iters),
+				}, nil
+			}, nil
+		},
+	}
 }
 
 // churnFloodBenchmark measures rounds/sec and msgs/sec on the churn
@@ -223,8 +326,10 @@ func experimentBenchmark(id string, quick bool) Benchmark {
 // Suite returns the standard benchmark suite: the engine flood
 // micro-benchmarks (serial, pinned-8-worker, and GOMAXPROCS-worker
 // parallel), the churn flood micro-benchmarks (serial and pinned-worker
-// — the dynamic-membership path), a full benign CONGEST protocol run,
-// and the E1-E15 quick experiment regenerations.
+// — the dynamic-membership path), the churn-byz micro-benchmarks
+// (membership turnover with a maintained Byzantine fraction spamming —
+// the combined path E16-E18 stand on), a full benign CONGEST protocol
+// run, and the E1-E18 quick experiment regenerations.
 func Suite(cfg SuiteConfig) []Benchmark {
 	workers := cfg.Parallel
 	if workers <= 0 {
@@ -241,6 +346,9 @@ func Suite(cfg SuiteConfig) []Benchmark {
 			1024, 8, runtime.GOMAXPROCS(0), micro),
 		churnFloodBenchmark("engine/churn-flood/serial/n=1024", 1024, 8, 1, 2, micro),
 		churnFloodBenchmark(fmt.Sprintf("engine/churn-flood/parallel=%d/n=1024", workers),
+			1024, 8, workers, 2, micro),
+		churnByzBenchmark("engine/churn-byz/serial/n=1024", 1024, 8, 1, 2, micro),
+		churnByzBenchmark(fmt.Sprintf("engine/churn-byz/parallel=%d/n=1024", workers),
 			1024, 8, workers, 2, micro),
 		congestBenchmark(micro),
 	}

@@ -107,6 +107,60 @@ func TestSteadyStateAllocsChurnParallel(t *testing.T) {
 	}
 }
 
+// warmChurnByzEngine returns the 1024-node churn-byz runner (two leaves
+// and two joins per round, a roster maintaining a 1/16 Byzantine spam
+// fraction) warmed like the other steady-state engines.
+func warmChurnByzEngine(t *testing.T, workers int) *dynamic.Runner {
+	t.Helper()
+	run, err := perf.NewChurnByzEngine(1024, 8, workers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Run(1300); err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestSteadyStateAllocsChurnByzSerial: the combined churn + adversary
+// path — membership turnover, roster re-evaluation (the joiner
+// allegiance draw included), cycle repair, spam traffic — allocates
+// nothing per warm serial round, strictly. This is the budget E16-E18
+// and `run -byz -churn` stand on.
+func TestSteadyStateAllocsChurnByzSerial(t *testing.T) {
+	run := warmChurnByzEngine(t, 1)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := run.Run(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("serial steady-state churn+byz round allocates: %.1f allocs/round, want 0", allocs)
+	}
+}
+
+// TestSteadyStateAllocsChurnByzParallel: the same budget under the
+// sharded engine, modulo the constant per-Run pool startup.
+func TestSteadyStateAllocsChurnByzParallel(t *testing.T) {
+	run := warmChurnByzEngine(t, 8)
+	measure := func(rounds int) float64 {
+		return testing.AllocsPerRun(1, func() {
+			if _, err := run.Run(rounds); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := measure(20)
+	long := measure(120)
+	if delta := long - short; delta != 0 {
+		t.Errorf("parallel churn+byz rounds allocate: %d rounds cost %.0f allocs, %d rounds cost %.0f (delta %.0f, want 0)",
+			20, short, 120, long, delta)
+	}
+	if short >= 20 {
+		t.Errorf("pool startup costs %.0f allocs, which is >= 1 per round over 20 rounds", short)
+	}
+}
+
 // TestSteadyStateAllocsParallel: with SetParallelism(8), allocations
 // must not scale with the number of rounds executed. Each Run call pays
 // a constant pool-startup cost (one goroutine spawn per worker); the

@@ -14,6 +14,7 @@ import (
 	"reflect"
 	"testing"
 
+	"byzcount/internal/byzantine"
 	"byzcount/internal/counting"
 	"byzcount/internal/dynamic"
 	"byzcount/internal/perf"
@@ -93,6 +94,93 @@ func TestChurnTranscriptSerialParallel(t *testing.T) {
 		got, gotM, gotJ, gotL := runChurnTranscript(t, w)
 		if got != want {
 			t.Errorf("workers=%d: churn transcript digest %s != serial %s", w, got, want)
+		}
+		if !reflect.DeepEqual(wantM, gotM) {
+			t.Errorf("workers=%d: metrics diverge:\nserial:   %+v\nparallel: %+v", w, wantM, gotM)
+		}
+		if gotJ != wantJ || gotL != wantL {
+			t.Errorf("workers=%d: churn %d/%d != serial %d/%d", w, gotJ, gotL, wantJ, wantL)
+		}
+	}
+}
+
+// runChurnByzTranscript executes a CONGEST counting run under
+// SIMULTANEOUS churn and beacon spam — the cross-product path E16-E18
+// exercise: a join/leave storm for the first 60 rounds while a roster
+// keeps ~8% of the membership Byzantine (initial members by placement,
+// joiners by the roster's stream), honest slots counting and Byzantine
+// slots spamming fabricated beacons. Returns the combined per-slot
+// transcript digest plus metrics and churn counts.
+func runChurnByzTranscript(t *testing.T, workers int) (string, sim.Metrics, int, int) {
+	t.Helper()
+	const n, d = 128, 8
+	byzFrac := 0.08
+	params := counting.DefaultCongestParams(d)
+	params.MaxPhase = 8
+	rng := xrand.New(4005)
+	net, err := dynamic.NewNetwork(n, d, rng.Split("net"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask, err := byzantine.RandomPlacement(net, int(byzFrac*float64(n)), rng.Split("place"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roster, err := byzantine.NewRoster(mask, net.NumAlive(), byzFrac, rng.Split("roster"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]uint64, 4*n)
+	initial := true
+	run, err := dynamic.NewRunner(net, dynamic.Churn{Leaves: 2, Joins: 2, StopAfter: 60, Mixed: true}, 4006,
+		func(slot dynamic.Slot, id sim.NodeID) sim.Proc {
+			isByz := roster.IsByz(slot)
+			if !initial {
+				isByz = roster.OnJoin(slot)
+			}
+			var inner sim.Proc = counting.NewCongestProc(params)
+			if isByz {
+				inner = byzantine.NewBeaconSpammer(params.Schedule, 6, false, rng.SplitN("spam", slot))
+			}
+			return &slotDigestProc{inner: inner, slot: slot, sums: sums}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial = false
+	run.SetLeaveHook(roster.OnLeave)
+	run.SetParallelism(workers)
+	if _, err := run.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, sum := range sums {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(sum >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), run.Metrics(), run.Joined(), run.Left()
+}
+
+// TestChurnByzTranscriptSerialParallel pins the delivery transcript of
+// the combined churn + Byzantine scenario to the serial engine's for
+// workers 3 and 8 — the determinism contract extended to the
+// cross-product path (adversary procs stepping on recycled slots while
+// the roster turns the membership over).
+func TestChurnByzTranscriptSerialParallel(t *testing.T) {
+	want, wantM, wantJ, wantL := runChurnByzTranscript(t, 1)
+	if wantJ == 0 || wantL == 0 {
+		t.Fatal("storm applied no churn; the scenario is degenerate")
+	}
+	if wantM.Messages == 0 {
+		t.Fatal("scenario delivered no messages")
+	}
+	for _, w := range []int{3, 8} {
+		got, gotM, gotJ, gotL := runChurnByzTranscript(t, w)
+		if got != want {
+			t.Errorf("workers=%d: churn+byz transcript digest %s != serial %s", w, got, want)
 		}
 		if !reflect.DeepEqual(wantM, gotM) {
 			t.Errorf("workers=%d: metrics diverge:\nserial:   %+v\nparallel: %+v", w, wantM, gotM)
