@@ -88,7 +88,7 @@ func usage() {
   byzcount matrix [flags]               run a slice of the scenario grid
   byzcount bench [flags]                run the perf suite and write BENCH.json
   byzcount graph [flags]                generate a substrate and print its statistics
-flags for expt/all: -seed N  -trials N  -quick  -parallel N
+flags for expt/all: -seed N  -trials N  -quick  -parallel N  -subcache=false
 flags for run:      -proto congest|local|geometric|support|kmv|walk|tree  -n N  -d D
                     -byz B  -attack spam|silent|fake|crash
                     -placement random|clustered|spread  -seed N  -parallel N
@@ -100,7 +100,7 @@ flags for run:      -proto congest|local|geometric|support|kmv|walk|tree  -n N  
 flags for matrix:   comma-separated axis lists -proto -substrate -adversary
                     -placement -n -byz-frac -churn, plus -churn-stop R  -d D
                     -max-phase P  -stop-frac F  -seed N  -trials N  -parallel N
-                    -format table|csv
+                    -format table|csv  -subcache=false
 flags for bench:    -quick  -out FILE  -filter SUBSTR  -parallel N
 flags for graph:    -kind hnd|regular|smallworld|ring|torus|dumbbell  -n N  -d D
                     -seed N  -out FILE`)
@@ -114,6 +114,8 @@ func exptCmd(args []string, all bool) error {
 	format := fs.String("format", "table", "output format: table|csv")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"max concurrent (row, trial) cells; tables are identical for every value")
+	subcache := fs.Bool("subcache", true,
+		"reuse identically drawn substrates across cells (tables are identical either way)")
 	var id string
 	rest := args
 	if !all {
@@ -126,6 +128,7 @@ func exptCmd(args []string, all bool) error {
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
+	expt.SetSubstrateCache(*subcache)
 	cfg := expt.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *parallel}
 	ids := []string{id}
 	if all {
@@ -423,9 +426,12 @@ func matrixCmd(args []string) error {
 	format := fs.String("format", "table", "output format: table|csv")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"max concurrent cells; tables are identical for every value")
+	subcache := fs.Bool("subcache", true,
+		"reuse identically drawn substrates across cells (tables are identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	expt.SetSubstrateCache(*subcache)
 	nList, err := splitInts(*ns)
 	if err != nil {
 		return err

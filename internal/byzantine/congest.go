@@ -19,6 +19,7 @@ import (
 // receiver beyond the trusted suffix).
 type BeaconSpammer struct {
 	Schedule counting.Schedule
+	locator  counting.Locator
 	// PrefixLen is the number of fabricated IDs prepended to each spam
 	// beacon, mimicking an origin PrefixLen hops beyond the spammer.
 	PrefixLen int
@@ -34,7 +35,7 @@ var _ sim.Proc = (*BeaconSpammer)(nil)
 // schedule must match the honest nodes' so spam lands inside beacon
 // windows.
 func NewBeaconSpammer(sched counting.Schedule, prefixLen int, everyRound bool, rng *xrand.Rand) *BeaconSpammer {
-	return &BeaconSpammer{Schedule: sched, PrefixLen: prefixLen, EveryRound: everyRound, rng: rng}
+	return &BeaconSpammer{Schedule: sched, locator: counting.NewLocator(sched), PrefixLen: prefixLen, EveryRound: everyRound, rng: rng}
 }
 
 // Halted is always false: the adversary never stops.
@@ -43,7 +44,8 @@ func (b *BeaconSpammer) Halted() bool { return false }
 // Step emits fabricated beacons at iteration starts (or every beacon-
 // window round when EveryRound is set).
 func (b *BeaconSpammer) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
-	loc := b.Schedule.Locate(round)
+	b.locator.Bind(b.Schedule) // Schedule is an exported field; track rewrites
+	loc := b.locator.Locate(round)
 	inBeaconWindow := loc.Offset <= loc.Phase+1
 	if !inBeaconWindow {
 		return nil

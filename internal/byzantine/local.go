@@ -56,13 +56,19 @@ func NewFakeWorld(size, fakeDegree, maxDegree, roots int, rng *xrand.Rand) (*Fak
 		backRefs:  make(map[sim.NodeID][]sim.NodeID),
 	}
 	for v := 0; v < size; v++ {
-		// Deduplicate parallel edges: seals must be simple.
-		uniq := make(map[sim.NodeID]bool)
+		// Deduplicate parallel edges (seals must be simple) straight off
+		// the shared CSR row — no per-vertex Neighbors copy.
 		var nbrs []sim.NodeID
-		for _, u := range g.Neighbors(v) {
+		for _, u := range g.Adj(v) {
 			id := ids[u]
-			if !uniq[id] {
-				uniq[id] = true
+			dup := false
+			for _, seen := range nbrs {
+				if seen == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
 				nbrs = append(nbrs, id)
 			}
 		}

@@ -66,7 +66,8 @@ func DefaultCongestParams(d int) CongestParams {
 // CongestProc is the per-node process of Algorithm 2. Create one per
 // honest vertex with NewCongestProc.
 type CongestProc struct {
-	params CongestParams
+	params  CongestParams
+	locator Locator
 
 	decided  bool
 	estimate int
@@ -93,6 +94,7 @@ var _ Estimator = (*CongestProc)(nil)
 func NewCongestProc(params CongestParams) *CongestProc {
 	return &CongestProc{
 		params:    params,
+		locator:   NewLocator(params.Schedule),
 		lastPhase: -1,
 		lastIter:  -1,
 		blacklist: make(map[sim.NodeID]struct{}),
@@ -109,7 +111,7 @@ func (c *CongestProc) Halted() bool { return c.exited }
 
 // Step advances the node by one synchronous round.
 func (c *CongestProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
-	loc := c.params.Schedule.Locate(round)
+	loc := c.locator.Locate(round)
 	i := loc.Phase
 	suffix := BlacklistSuffix(i, c.params.Epsilon)
 

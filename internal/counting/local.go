@@ -51,6 +51,15 @@ type LocalProc struct {
 	decided  bool
 	estimate int
 	decRound int
+
+	// seenScratch and nbrScratch are the reusable distinct-count buffers
+	// of the mute check — degrees are bounded by Delta, so linear scans
+	// over reused slices replace the two maps the seed code allocated
+	// every round. The distinct-neighbor count is recomputed each round
+	// (not cached): under a mutable topology env.Neighbors is refreshed
+	// as the membership churns, and the mute check must track it.
+	seenScratch []int
+	nbrScratch  []int
 }
 
 var _ Estimator = (*LocalProc)(nil)
@@ -108,15 +117,18 @@ func (l *LocalProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgo
 	}
 
 	// Mute check (line 5): every live neighbor broadcast last round.
-	seen := make(map[int]bool, len(in))
+	if cap(l.nbrScratch) < len(env.Neighbors) {
+		l.nbrScratch = make([]int, 0, len(env.Neighbors))
+	}
+	distinct := countDistinct(l.nbrScratch[:0], env.Neighbors)
+	seen := l.seenScratch[:0]
 	for _, m := range in {
-		seen[m.From] = true
+		if !containsInt(seen, m.From) {
+			seen = append(seen, m.From)
+		}
 	}
-	distinct := make(map[int]bool, len(env.Neighbors))
-	for _, w := range env.Neighbors {
-		distinct[w] = true
-	}
-	if len(seen) < len(distinct) {
+	l.seenScratch = seen[:0]
+	if len(seen) < distinct {
 		l.decide(round)
 		return nil
 	}
@@ -167,6 +179,28 @@ func (l *LocalProc) decide(round int) {
 	l.decided = true
 	l.estimate = round
 	l.decRound = round
+}
+
+// containsInt reports whether x appears in the (short, degree-bounded)
+// slice s.
+func containsInt(s []int, x int) bool {
+	for _, y := range s {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// countDistinct returns the number of distinct values in s, using buf as
+// scratch.
+func countDistinct(buf []int, s []int) int {
+	for _, x := range s {
+		if !containsInt(buf, x) {
+			buf = append(buf, x)
+		}
+	}
+	return len(buf)
 }
 
 // flush broadcasts the seals learned since the previous round. An empty

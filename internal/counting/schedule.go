@@ -68,6 +68,63 @@ func (s Schedule) Locate(round int) Loc {
 	}
 }
 
+// Locator is an incremental Locate cache for the common access pattern —
+// one Locate per round, rounds non-decreasing. It tracks the current
+// phase's start round and length, so a lookup inside the same phase is
+// pure integer arithmetic and the exp() of Iterations is evaluated once
+// per phase transition instead of once per phase per call (the seed
+// code's per-round Locate walked every phase from StartPhase, which made
+// the schedule arithmetic a top cost of E3-scale CONGEST runs). A round
+// before the cached phase resets the walk, so results are identical to
+// Schedule.Locate for any access order.
+type Locator struct {
+	sched  Schedule
+	init   bool
+	phase  int // cached phase
+	start  int // first round of the cached phase
+	rounds int // PhaseRounds(phase)
+}
+
+// NewLocator returns a Locator for s.
+func NewLocator(s Schedule) Locator { return Locator{sched: s} }
+
+// Bind points the locator at s, resetting its cache if s differs from
+// the schedule it was built for. Holders whose schedule lives in an
+// exported, reassignable field (e.g. byzantine.BeaconSpammer) call this
+// before Locate so a struct-literal construction or a field rewrite
+// never runs on a stale (or zero-value) schedule.
+func (l *Locator) Bind(s Schedule) {
+	if l.sched != s {
+		*l = Locator{sched: s}
+	}
+}
+
+// Locate converts a global round number to phase coordinates; it returns
+// exactly what l.sched.Locate(round) would.
+func (l *Locator) Locate(round int) Loc {
+	if round < 0 {
+		panic("counting: negative round")
+	}
+	if !l.init || round < l.start {
+		l.init = true
+		l.phase = l.sched.StartPhase
+		l.start = 0
+		l.rounds = l.sched.PhaseRounds(l.phase)
+	}
+	for round >= l.start+l.rounds {
+		l.start += l.rounds
+		l.phase++
+		l.rounds = l.sched.PhaseRounds(l.phase)
+	}
+	rel := round - l.start
+	iterLen := IterationRounds(l.phase)
+	return Loc{
+		Phase:     l.phase,
+		Iteration: rel/iterLen + 1,
+		Offset:    rel % iterLen,
+	}
+}
+
 // RoundsThroughPhase returns the total number of rounds from round 0 up to
 // and including the last round of phase `last`.
 func (s Schedule) RoundsThroughPhase(last int) int {

@@ -1,0 +1,115 @@
+package expt
+
+// The deterministic substrate cache. Every substrate a trial runs on is
+// drawn from a dedicated split stream, and xrand splitting is a pure
+// function of (parent seed, label): the split stream's seed IS the
+// identity of the draw sequence, so two cells whose generator streams
+// carry the same seed would build byte-identical graphs. The cache keys
+// on exactly that — (family, n, d, generator-stream seed) — and returns
+// one immutable finalized graph for every cell of the key, instead of
+// regenerating it per adversary/placement cell, per repeated run, or
+// per benchmark iteration. Deterministic families (ring, torus, ...)
+// ignore their stream entirely, so their key drops the seed and every
+// trial of every cell at one scale shares a single build.
+//
+// Correctness: a cache hit skips the generator's draws from the split
+// stream, which is observable only if the caller reuses that stream
+// afterwards — no call site does (the stream is split off purely for
+// the build, and cachedSubstrate's contract requires it). Graphs are
+// never mutated after construction (enforced by convention and the
+// race detector: lazy CSR/diameter views build under the graph's own
+// synchronization), so sharing across concurrent (row, trial) cells is
+// safe. Tables are byte-identical with the cache on or off — the golden
+// cross-check in cache_test.go pins this for E1/E3/E15 across
+// -parallel 1/8.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"byzcount/internal/graph"
+)
+
+// substrateKey identifies one deterministic build.
+type substrateKey struct {
+	family string
+	n, d   int
+	seed   uint64 // generator stream seed; 0 for deterministic families
+}
+
+// maxCachedSubstrates bounds the cache's footprint: a full sweep touches
+// a few dozen distinct (family, scale, seed) cells per experiment, and
+// graphs at simulation scale are O(100KB), so this is a few hundred MB
+// worst case shared process-wide. On overflow the whole map is dropped —
+// correctness never depends on residency.
+const maxCachedSubstrates = 512
+
+var subCache = struct {
+	sync.Mutex
+	m       map[substrateKey]*graph.Graph
+	enabled atomic.Bool
+	hits    atomic.Int64
+	misses  atomic.Int64
+}{m: make(map[substrateKey]*graph.Graph)}
+
+func init() { subCache.enabled.Store(true) }
+
+// SetSubstrateCache enables or disables the substrate cache (enabled by
+// default) and returns the previous setting. Disabling clears it. The
+// switch exists for the golden cache-on/off table cross-checks and for
+// A/B timing from the CLI — outputs are identical either way.
+func SetSubstrateCache(on bool) bool {
+	prev := subCache.enabled.Swap(on)
+	if !on {
+		subCache.Lock()
+		subCache.m = make(map[substrateKey]*graph.Graph)
+		subCache.Unlock()
+	}
+	return prev
+}
+
+// SubstrateCacheStats reports cumulative cache hits and misses (for
+// tests and the bench harness).
+func SubstrateCacheStats() (hits, misses int64) {
+	return subCache.hits.Load(), subCache.misses.Load()
+}
+
+// cachedSubstrate returns the graph the build function would produce,
+// reusing a previous identical build when possible. seed must be the
+// build's generator-stream seed (ignored when deterministic is true),
+// and build must draw from nothing but that stream. Concurrent misses
+// on the same key may build twice; the first stored build wins, and both
+// are byte-identical by construction.
+func cachedSubstrate(family string, n, d int, seed uint64, deterministic bool,
+	build func() (*graph.Graph, error)) (*graph.Graph, error) {
+	if !subCache.enabled.Load() {
+		return build()
+	}
+	key := substrateKey{family: family, n: n, d: d}
+	if !deterministic {
+		key.seed = seed
+	}
+	subCache.Lock()
+	g, ok := subCache.m[key]
+	subCache.Unlock()
+	if ok {
+		subCache.hits.Add(1)
+		return g, nil
+	}
+	subCache.misses.Add(1)
+	g, err := build()
+	if err != nil {
+		return nil, err
+	}
+	subCache.Lock()
+	if prev, ok := subCache.m[key]; ok {
+		g = prev // a concurrent identical build won the race
+	} else {
+		if len(subCache.m) >= maxCachedSubstrates {
+			subCache.m = make(map[substrateKey]*graph.Graph)
+		}
+		subCache.m[key] = g
+	}
+	subCache.Unlock()
+	return g, nil
+}

@@ -1,0 +1,65 @@
+package expt
+
+import (
+	"testing"
+)
+
+// TestSubstrateCacheGolden pins the substrate cache's determinism
+// contract: E1 (graph-bound LOCAL sweep), E3 (scenario-layer CONGEST
+// sweep), and E15 (churn — runs on dynamic networks the cache never
+// touches) render byte-identical tables with the cache enabled and
+// disabled, across serial and 8-way-parallel sweep drivers.
+func TestSubstrateCacheGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	prev := SetSubstrateCache(true)
+	defer SetSubstrateCache(prev)
+	for _, id := range []string{"E1", "E3", "E15"} {
+		var want string
+		for _, cache := range []bool{true, false} {
+			for _, par := range []int{1, 8} {
+				SetSubstrateCache(cache)
+				cfg := Config{Seed: 42, Trials: 2, Quick: true, Parallel: par}
+				tbl, err := Run(id, cfg)
+				if err != nil {
+					t.Fatalf("%s cache=%v parallel=%d: %v", id, cache, par, err)
+				}
+				got := tbl.Render()
+				if want == "" {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("%s cache=%v parallel=%d: table differs from cache=true parallel=1:\n--- want\n%s\n--- got\n%s",
+						id, cache, par, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSubstrateCacheHitsWithinTrial confirms the cache actually dedupes:
+// re-running the same experiment in one process reuses every substrate
+// of the first run (the repeated-invocation case the perf trajectory's
+// expt/E* workloads exercise).
+func TestSubstrateCacheHitsWithinTrial(t *testing.T) {
+	SetSubstrateCache(false) // clear
+	prev := SetSubstrateCache(true)
+	defer SetSubstrateCache(prev)
+	cfg := Config{Seed: 42, Trials: 1, Quick: true, Parallel: 1}
+	if _, err := Run("E5", cfg); err != nil {
+		t.Fatal(err)
+	}
+	h0, m0 := SubstrateCacheStats()
+	if _, err := Run("E5", cfg); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := SubstrateCacheStats()
+	if m1 != m0 {
+		t.Errorf("second identical run missed the cache %d times, want 0", m1-m0)
+	}
+	if h1 == h0 {
+		t.Error("second identical run recorded no cache hits")
+	}
+}

@@ -98,6 +98,11 @@ func E8(cfg Config) (*Table, error) {
 	results, err := sweepRows(cfg, root, rows,
 		func(rw row) string { return fmt.Sprintf("e8-%d-%d", rw.n, rw.d) },
 		func(rw row, trial int, rng *xrand.Rand) (float64, error) {
+			// Historical derivation: E8 builds from the trial stream
+			// itself (not a "graph" split), and its published tables pin
+			// that. The stream still satisfies hnd's substrate-cache
+			// contract — it is dedicated to the build — so NOTHING else
+			// in this closure may draw from rng, before or after.
 			g, err := hnd(rw.n, rw.d, rng)
 			if err != nil {
 				return 0, err

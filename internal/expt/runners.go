@@ -132,9 +132,13 @@ func congestMaxRounds(p counting.CongestParams) int {
 	return p.Schedule.RoundsThroughPhase(p.MaxPhase + 1)
 }
 
-// hnd builds the H(n,d) substrate or fails the experiment.
+// hnd builds the H(n,d) substrate or fails the experiment. Builds go
+// through the deterministic substrate cache: rng must be a stream
+// dedicated to this build (every caller passes a fresh split), so its
+// seed identifies the draw and identical streams reuse one graph.
 func hnd(n, d int, rng *xrand.Rand) (*graph.Graph, error) {
-	g, err := graph.HND(n, d, rng)
+	g, err := cachedSubstrate("hnd", n, d, rng.Seed(), false,
+		func() (*graph.Graph, error) { return graph.HND(n, d, rng) })
 	if err != nil {
 		return nil, fmt.Errorf("expt: building H(%d,%d): %w", n, d, err)
 	}

@@ -262,8 +262,13 @@ var Protocols = map[string]Protocol{
 // churn profile the (dynamically maintainable) hnd family builds a
 // dynamic.Network instead — see RunScenario.
 type Substrate struct {
-	Name  string
-	Build func(n, d int, rng *xrand.Rand) (*graph.Graph, error)
+	Name string
+	// Deterministic marks families that ignore their random stream
+	// (ring, torus): every trial at one scale builds the same graph, so
+	// the substrate cache drops the seed from their key and all cells
+	// share a single build.
+	Deterministic bool
+	Build         func(n, d int, rng *xrand.Rand) (*graph.Graph, error)
 }
 
 // Substrates is the substrate-axis registry.
@@ -277,10 +282,10 @@ var Substrates = map[string]Substrate{
 	"smallworld": {Name: "smallworld", Build: func(n, d int, rng *xrand.Rand) (*graph.Graph, error) {
 		return graph.WattsStrogatz(n, max(d/2, 1), 0.2, rng)
 	}},
-	"ring": {Name: "ring", Build: func(n, d int, rng *xrand.Rand) (*graph.Graph, error) {
+	"ring": {Name: "ring", Deterministic: true, Build: func(n, d int, rng *xrand.Rand) (*graph.Graph, error) {
 		return graph.Ring(n)
 	}},
-	"torus": {Name: "torus", Build: func(n, d int, rng *xrand.Rand) (*graph.Graph, error) {
+	"torus": {Name: "torus", Deterministic: true, Build: func(n, d int, rng *xrand.Rand) (*graph.Graph, error) {
 		side := 1
 		for side*side < n {
 			side++
@@ -469,7 +474,12 @@ func RunScenario(sc Scenario, rng *xrand.Rand, workers int) (*ScenarioOutcome, e
 // E3/E6/E12 tables byte-identical.
 func runScenarioStatic(sc Scenario, ctx *scenarioCtx, proto Protocol, adv Adversary, workers int) (*ScenarioOutcome, error) {
 	sub := Substrates[sc.Substrate]
-	g, err := sub.Build(sc.N, sc.D, ctx.rng.Split("graph"))
+	// The build stream is split off purely for this build, so its seed
+	// identifies the draw and the substrate cache can reuse one immutable
+	// graph across every cell that derives the same stream.
+	grng := ctx.rng.Split("graph")
+	g, err := cachedSubstrate(sc.Substrate, sc.N, sc.D, grng.Seed(), sub.Deterministic,
+		func() (*graph.Graph, error) { return sub.Build(sc.N, sc.D, grng) })
 	if err != nil {
 		return nil, fmt.Errorf("expt: building %s(n=%d,d=%d): %w", sc.Substrate, sc.N, sc.D, err)
 	}

@@ -1,0 +1,78 @@
+//go:build !race
+
+// AllocsPerRun counting is meaningless under the race detector: -race
+// instruments allocations and sync.Pool deliberately drops items, so
+// the pooled scratch reallocates per call. CI's bench-smoke job runs
+// this file without -race; the race job covers the determinism suites.
+
+package graph
+
+import (
+	"testing"
+
+	"byzcount/internal/xrand"
+)
+
+// TestBuildAllocsConstant gates the O(1)-allocations build contract of
+// the CSR core: a complete H(n,d) build — generator draws, CSR
+// finalize, sorted-dedup view — performs a constant number of
+// allocations independent of n (the seed append-built representation
+// allocated ~3n). The budget covers the graph struct, the edge log, the
+// degree array, both CSR views, and the d/2 permutation draws.
+func TestBuildAllocsConstant(t *testing.T) {
+	const budget = 24
+	for _, n := range []int{256, 1024, 4096} {
+		rng := xrand.New(4)
+		allocs := testing.AllocsPerRun(8, func() {
+			rng.Reseed(4)
+			g, err := HND(n, 8, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.Adj(0)
+			g.SortedAdj(0)
+		})
+		if allocs > budget {
+			t.Errorf("HND(%d,8) build: %.0f allocs, budget %d (must not scale with n)", n, allocs, budget)
+		}
+	}
+}
+
+// TestStructuralToolAllocs gates the zero-steady-state-allocation
+// contract of the map-free structural tools: with warm reusable buffers,
+// BFS, balls, out-neighborhoods, expansion, the tree-like test, and the
+// simplicity check allocate nothing (the seed code allocated maps per
+// call — bfs.go's per-ball map and expansion.go's per-set maps were the
+// placement machinery's dominant setup cost).
+func TestStructuralToolAllocs(t *testing.T) {
+	g, err := HND(1024, 8, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SortedAdj(0) // finalize outside the measured region
+	dist := make([]int, g.N())
+	ballBuf := make([]int, 0, g.N())
+	outBuf := make([]int, 0, g.N())
+	set := g.Ball(3, 2)
+	src := 0
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"BFSInto", func() { g.BFSInto(dist, src, g.N()) }},
+		{"AppendBall", func() { ballBuf = g.AppendBall(ballBuf[:0], src, 3) }},
+		{"BallSize", func() { g.BallSize(src, 3) }},
+		{"AppendOutNeighbors", func() { outBuf = g.AppendOutNeighbors(outBuf[:0], set) }},
+		{"ExpansionOf", func() { g.ExpansionOf(set) }},
+		{"IsLocallyTreeLike", func() { g.IsLocallyTreeLike(src, 2, 8) }},
+		{"IsSimple", func() { g.IsSimple() }},
+		{"Eccentricity", func() { g.Eccentricity(src) }},
+	}
+	for _, tc := range cases {
+		tc.fn() // warm the scratch pool and buffers
+		if allocs := testing.AllocsPerRun(16, tc.fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op in steady state, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -13,7 +13,7 @@ import (
 // by enumerating all 2^n - 2 candidate subsets (Definition 1). It is
 // intended for validation on tiny graphs; it panics for n > 24.
 func (g *Graph) VertexExpansionExact() float64 {
-	n := len(g.adj)
+	n := g.n
 	if n > 24 {
 		panic("graph: VertexExpansionExact limited to n <= 24")
 	}
@@ -45,13 +45,14 @@ func popcount(x int) int {
 
 // outSizeMask returns |Out(S)| for the subset encoded in mask (n <= 24).
 func (g *Graph) outSizeMask(mask int) int {
+	v := g.view()
 	out := 0
 	var outMask int
-	for u := range g.adj {
+	for u := 0; u < g.n; u++ {
 		if mask&(1<<uint(u)) == 0 {
 			continue
 		}
-		for _, w := range g.adj[u] {
+		for _, w := range v.tgt[v.off[u]:v.off[u+1]] {
 			bit := 1 << uint(w)
 			if mask&bit == 0 && outMask&bit == 0 {
 				outMask |= bit
@@ -66,39 +67,66 @@ func (g *Graph) outSizeMask(mask int) int {
 // least one member of S. S is given as a vertex list; duplicates are
 // tolerated.
 func (g *Graph) OutNeighbors(s []int) []int {
-	inS := make(map[int32]bool, len(s))
-	for _, v := range s {
-		g.check(v)
-		inS[int32(v)] = true
+	return g.AppendOutNeighbors(nil, s)
+}
+
+// AppendOutNeighbors appends Out(S) to buf and returns the extended slice
+// — the allocation-free counterpart of OutNeighbors. Membership and
+// dedup bookkeeping live in generation-stamped scratch arrays (the seed
+// code built two maps per call). Out(S) is emitted in first-discovery
+// order: scanning S in the given order, each member's adjacency in CSR
+// order — the same order the seed code produced.
+func (g *Graph) AppendOutNeighbors(buf []int, s []int) []int {
+	v := g.view()
+	sc := getScratch(g.n)
+	// A second generation marks emitted out-neighbors; members keep their
+	// inGen stamp, so one compare answers both "in S" and "already seen".
+	inGen, outGen := sc.nextGen2()
+	for _, x := range s {
+		g.check(x)
+		sc.mark[x] = inGen
 	}
-	seen := make(map[int32]bool)
-	var out []int
-	for _, v := range s {
-		for _, w := range g.adj[v] {
-			if !inS[w] && !seen[w] {
-				seen[w] = true
-				out = append(out, int(w))
+	for _, x := range s {
+		for _, w := range v.tgt[v.off[x]:v.off[x+1]] {
+			if sc.mark[w] != inGen && sc.mark[w] != outGen {
+				sc.mark[w] = outGen
+				buf = append(buf, int(w))
 			}
 		}
 	}
-	return out
+	putScratch(sc)
+	return buf
 }
 
 // ExpansionOf returns |Out(S)|/|S| for the subset S (as a vertex list,
 // deduplicated internally). Empty S yields +Inf.
 func (g *Graph) ExpansionOf(s []int) float64 {
-	uniq := make(map[int]bool, len(s))
-	for _, v := range s {
-		uniq[v] = true
+	v := g.view()
+	sc := getScratch(g.n)
+	inGen, outGen := sc.nextGen2()
+	size := 0
+	for _, x := range s {
+		g.check(x)
+		if sc.mark[x] != inGen {
+			sc.mark[x] = inGen
+			size++
+		}
 	}
-	if len(uniq) == 0 {
+	if size == 0 {
+		putScratch(sc)
 		return math.Inf(1)
 	}
-	dedup := make([]int, 0, len(uniq))
-	for v := range uniq {
-		dedup = append(dedup, v)
+	out := 0
+	for _, x := range s {
+		for _, w := range v.tgt[v.off[x]:v.off[x+1]] {
+			if sc.mark[w] != inGen && sc.mark[w] != outGen {
+				sc.mark[w] = outGen
+				out++
+			}
+		}
 	}
-	return float64(len(g.OutNeighbors(dedup))) / float64(len(dedup))
+	putScratch(sc)
+	return float64(out) / float64(size)
 }
 
 // EstimateVertexExpansion returns an upper bound on h(G) obtained by BFS
@@ -108,31 +136,33 @@ func (g *Graph) ExpansionOf(s []int) float64 {
 // family the counting algorithms reason about, so this heuristic is tight
 // on the topologies in this repository (rings, dumbbells, expanders).
 func (g *Graph) EstimateVertexExpansion(sweeps int, rng *xrand.Rand) float64 {
-	n := len(g.adj)
+	n := g.n
 	if n < 2 {
 		return 0
 	}
 	if sweeps < 1 {
 		sweeps = 1
 	}
+	v := g.view()
 	best := math.Inf(1)
 	inPrefix := make([]bool, n)
 	outCount := make([]bool, n)
+	var order []int
 	for s := 0; s < sweeps; s++ {
 		src := rng.Intn(n)
-		order := g.Ball(src, n) // full BFS order of src's component
+		order = g.AppendBall(order[:0], src, n) // full BFS order of src's component
 		for i := range inPrefix {
 			inPrefix[i] = false
 			outCount[i] = false
 		}
 		outSize := 0
-		for i, v := range order {
-			inPrefix[v] = true
-			if outCount[v] {
-				outCount[v] = false
+		for i, x := range order {
+			inPrefix[x] = true
+			if outCount[x] {
+				outCount[x] = false
 				outSize--
 			}
-			for _, w := range g.adj[v] {
+			for _, w := range v.tgt[v.off[x]:v.off[x+1]] {
 				if !inPrefix[w] && !outCount[w] {
 					outCount[w] = true
 					outSize++
@@ -187,17 +217,18 @@ func (g *Graph) BallGrowthProfile(u, r int) []float64 {
 // iteration runs on the component orthogonal to the stationary
 // distribution.
 func (g *Graph) CheegerBoundSpectral(iters int, rng *xrand.Rand) float64 {
-	n := len(g.adj)
+	n := g.n
 	if n < 2 || !g.IsConnected() {
 		return 0
 	}
 	if iters < 8 {
 		iters = 8
 	}
+	cv := g.view()
 	deg := make([]float64, n)
 	var totalDeg float64
-	for u := range g.adj {
-		deg[u] = float64(len(g.adj[u]))
+	for u := 0; u < n; u++ {
+		deg[u] = float64(g.deg[u])
 		totalDeg += deg[u]
 	}
 	// Stationary distribution pi(u) = deg(u)/2m.
@@ -224,7 +255,7 @@ func (g *Graph) CheegerBoundSpectral(iters int, rng *xrand.Rand) float64 {
 		// y = W x with W = (I + P)/2, P x(u) = avg over neighbors.
 		for u := range y {
 			var sum float64
-			for _, w := range g.adj[u] {
+			for _, w := range cv.tgt[cv.off[u]:cv.off[u+1]] {
 				sum += x[w]
 			}
 			y[u] = 0.5*x[u] + 0.5*sum/deg[u]

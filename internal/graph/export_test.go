@@ -1,0 +1,7 @@
+package graph
+
+// EdgeLog exposes the insertion-ordered edge log to the
+// cross-representation property test, which replays it through a naive
+// slice-of-slices adjacency (the seed representation) and compares every
+// structural observation against the CSR.
+func (g *Graph) EdgeLog() (eu, ev []int32) { return g.eu, g.ev }

@@ -19,6 +19,7 @@ func HND(n, d int, rng *xrand.Rand) (*Graph, error) {
 		return nil, fmt.Errorf("graph: HND requires even d >= 2, got %d", d)
 	}
 	g := New(n)
+	g.Reserve(n * d / 2)
 	for c := 0; c < d/2; c++ {
 		perm := rng.Perm(n)
 		for i := 0; i < n; i++ {
@@ -69,6 +70,7 @@ func ConfigurationModel(degrees []int, rng *xrand.Rand) (*Graph, error) {
 	}
 	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
 	g := New(len(degrees))
+	g.Reserve(total / 2)
 	for i := 0; i+1 < len(stubs); i += 2 {
 		g.AddEdge(int(stubs[i]), int(stubs[i+1]))
 	}
@@ -119,7 +121,12 @@ func WattsStrogatz(n, k int, beta float64, rng *xrand.Rand) (*Graph, error) {
 	if beta < 0 || beta > 1 {
 		return nil, fmt.Errorf("graph: WattsStrogatz beta %v outside [0,1]", beta)
 	}
-	// Track existing edges to keep the graph simple under rewiring.
+	// Track existing edges to keep the graph simple under rewiring:
+	// per-vertex sorted adjacency with binary-search membership and
+	// sorted insert/remove. Degrees are ~2k, so the searches are a few
+	// compares on a contiguous row — the map this replaces hashed every
+	// candidate edge of the rewiring loop. Membership answers (and hence
+	// every rng draw) are identical to the map-based seed code.
 	type edge struct{ u, v int }
 	norm := func(u, v int) edge {
 		if u > v {
@@ -127,13 +134,37 @@ func WattsStrogatz(n, k int, beta float64, rng *xrand.Rand) (*Graph, error) {
 		}
 		return edge{u, v}
 	}
-	exists := make(map[edge]bool, n*k)
-	var edges []edge
+	adj := make([][]int32, n)
+	for u := range adj {
+		adj[u] = make([]int32, 0, 2*k+2)
+	}
+	has := func(e edge) bool {
+		row := adj[e.u]
+		i := searchInt32(row, int32(e.v))
+		return i < len(row) && row[i] == int32(e.v)
+	}
+	insertHalf := func(u, v int) {
+		row := adj[u]
+		i := searchInt32(row, int32(v))
+		row = append(row, 0)
+		copy(row[i+1:], row[i:])
+		row[i] = int32(v)
+		adj[u] = row
+	}
+	removeHalf := func(u, v int) {
+		row := adj[u]
+		i := searchInt32(row, int32(v))
+		copy(row[i:], row[i+1:])
+		adj[u] = row[:len(row)-1]
+	}
+	add := func(e edge) { insertHalf(e.u, e.v); insertHalf(e.v, e.u) }
+	del := func(e edge) { removeHalf(e.u, e.v); removeHalf(e.v, e.u) }
+	edges := make([]edge, 0, n*k)
 	for u := 0; u < n; u++ {
 		for j := 1; j <= k; j++ {
 			e := norm(u, (u+j)%n)
-			if !exists[e] {
-				exists[e] = true
+			if !has(e) {
+				add(e)
 				edges = append(edges, e)
 			}
 		}
@@ -148,20 +179,36 @@ func WattsStrogatz(n, k int, beta float64, rng *xrand.Rand) (*Graph, error) {
 		for attempt := 0; attempt < 32; attempt++ {
 			w := rng.Intn(n)
 			ne := norm(e.u, w)
-			if w == e.u || exists[ne] {
+			if w == e.u || has(ne) {
 				continue
 			}
-			delete(exists, e)
-			exists[ne] = true
+			del(e)
+			add(ne)
 			edges[i] = ne
 			break
 		}
 	}
 	g := New(n)
+	g.Reserve(len(edges))
 	for _, e := range edges {
 		g.AddEdge(e.u, e.v)
 	}
 	return g, nil
+}
+
+// searchInt32 returns the insertion index of x in the ascending row
+// (binary search).
+func searchInt32(row []int32, x int32) int {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Ring returns the n-cycle C_n (n >= 3): connected, 2-regular, and with

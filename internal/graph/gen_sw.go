@@ -31,15 +31,35 @@ func SimpleRegular(n, d, maxRestarts int, rng *xrand.Rand) (*Graph, error) {
 
 func stegerWormaldAttempt(n, d int, rng *xrand.Rand) (*Graph, bool) {
 	g := New(n)
+	g.Reserve(n * d / 2)
 	deg := make([]int, n)
 	// Vertices with free stubs, as a compact slice we sample from.
 	free := make([]int32, n)
 	for i := range free {
 		free[i] = int32(i)
 	}
-	adj := make([]map[int32]bool, n)
+	// Per-vertex sorted adjacency in one fixed slab (every vertex ends at
+	// degree exactly d, so row capacity d never grows): membership is a
+	// binary search over a contiguous row, insertion a shift of at most
+	// d-1 entries. This replaces the n hash maps the seed code allocated
+	// per attempt, whose lookups dominated the pairing loop.
+	slab := make([]int32, n*d)
+	adj := make([][]int32, n)
 	for i := range adj {
-		adj[i] = make(map[int32]bool, d)
+		adj[i] = slab[i*d : i*d : (i+1)*d]
+	}
+	hasArc := func(u, v int32) bool {
+		row := adj[u]
+		i := searchInt32(row, v)
+		return i < len(row) && row[i] == v
+	}
+	addArc := func(u, v int32) {
+		row := adj[u]
+		i := searchInt32(row, v)
+		row = append(row, 0)
+		copy(row[i+1:], row[i:])
+		row[i] = v
+		adj[u] = row
 	}
 	removeAt := func(i int) {
 		free[i] = free[len(free)-1]
@@ -61,12 +81,12 @@ func stegerWormaldAttempt(n, d int, rng *xrand.Rand) (*Graph, bool) {
 				j++
 			}
 			u, v := free[i], free[j]
-			if u == v || adj[u][v] {
+			if u == v || hasArc(u, v) {
 				continue
 			}
 			g.AddEdge(int(u), int(v))
-			adj[u][v] = true
-			adj[v][u] = true
+			addArc(u, v)
+			addArc(v, u)
 			deg[u]++
 			deg[v]++
 			// Remove saturated endpoints (higher index first so the swap

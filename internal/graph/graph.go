@@ -11,19 +11,68 @@
 // configuration models can produce them (the paper notes the expected
 // constant number of multi-edges in Section 1.2). Generators that need
 // simple graphs resample until simple.
+//
+// # Memory model
+//
+// A Graph is built incrementally (New + AddEdge append to a flat edge
+// log) and read through a CSR (compressed sparse row) view: one offsets
+// array and one targets array backing every adjacency list, finalized
+// lazily by a two-pass degree-count/fill step on first read after a
+// mutation. Per-vertex adjacency is therefore a slice into a single
+// backing array — no per-vertex allocations, cache-friendly traversal —
+// and a complete build costs O(m) time and a constant number of
+// allocations (Reserve sizes the edge log up front). A second, lazily
+// derived CSR holds the sorted-deduplicated adjacency the simulator's
+// membership checks use. Mutation must be externally synchronized;
+// concurrent reads of a finalized graph are safe (lazy views build under
+// a mutex and publish through atomics), which is what lets the
+// experiment driver's substrate cache share one immutable graph across
+// concurrent trials.
 package graph
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Graph is an undirected multigraph over vertices 0..n-1. The zero value is
 // an empty graph with no vertices; use New to create a graph with vertices.
 type Graph struct {
-	adj [][]int32
-	m   int // number of undirected edges (each parallel edge counted once)
+	n   int
+	m   int     // number of undirected edges (each parallel edge counted once)
+	eu  []int32 // edge log: endpoint pairs in insertion order
+	ev  []int32
+	deg []int32 // running degree per vertex (a self-loop contributes 2)
+
+	// csr is the finalized adjacency view, rebuilt on first read after a
+	// mutation. Readers load it through the atomic pointer; builders
+	// serialize on mu. csr.sorted and the diameter memo hang off the same
+	// finalized view so a mutation invalidates everything at once.
+	csr atomic.Pointer[csrView]
+	mu  sync.Mutex
+}
+
+// csrView is one finalized read-only view of the adjacency.
+type csrView struct {
+	off []int32 // len n+1; vertex u's arcs are tgt[off[u]:off[u+1]]
+	tgt []int32 // arc targets, insertion order per vertex
+
+	// sorted-deduplicated adjacency (lazy; nil until first use).
+	sorted atomic.Pointer[sortedCSR]
+
+	// diameter memo (lazy).
+	diamOnce sync.Once
+	diamVal  int
+	diamErr  error
+}
+
+// sortedCSR is the sorted-deduplicated companion adjacency.
+type sortedCSR struct {
+	off []int32
+	tgt []int32
 }
 
 // New returns a graph with n isolated vertices. It panics if n < 0.
@@ -31,11 +80,25 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
-	return &Graph{adj: make([][]int32, n)}
+	return &Graph{n: n, deg: make([]int32, n)}
+}
+
+// Reserve pre-sizes the edge log for at least `edges` AddEdge calls, so a
+// generator that knows its edge count builds with a constant number of
+// allocations.
+func (g *Graph) Reserve(edges int) {
+	if cap(g.eu) < edges {
+		eu := make([]int32, len(g.eu), edges)
+		copy(eu, g.eu)
+		g.eu = eu
+		ev := make([]int32, len(g.ev), edges)
+		copy(ev, g.ev)
+		g.ev = ev
+	}
 }
 
 // N returns the number of vertices.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return g.n }
 
 // M returns the number of undirected edges (parallel edges each count).
 func (g *Graph) M() int { return g.m }
@@ -46,43 +109,165 @@ func (g *Graph) M() int { return g.m }
 func (g *Graph) AddEdge(u, v int) {
 	g.check(u)
 	g.check(v)
-	g.adj[u] = append(g.adj[u], int32(v))
-	g.adj[v] = append(g.adj[v], int32(u))
+	g.eu = append(g.eu, int32(u))
+	g.ev = append(g.ev, int32(v))
+	g.deg[u]++
+	g.deg[v]++
 	g.m++
+	g.csr.Store(nil) // invalidate the finalized view (and its memos)
 }
 
 func (g *Graph) check(u int) {
-	if u < 0 || u >= len(g.adj) {
-		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, len(g.adj)))
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, g.n))
 	}
 }
 
+// view returns the finalized CSR, building it if the edge log changed.
+// The two-pass build (degree prefix-sum, then arc fill in edge-log order)
+// reproduces exactly the per-vertex append order the seed-era
+// slice-of-slices representation had: for each logged edge (u,v), u gains
+// arc v and then v gains arc u, so a self-loop contributes two
+// consecutive arcs.
+func (g *Graph) view() *csrView {
+	if v := g.csr.Load(); v != nil {
+		return v
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if v := g.csr.Load(); v != nil { // raced with another builder
+		return v
+	}
+	n := g.n
+	v := &csrView{
+		off: make([]int32, n+1),
+		tgt: make([]int32, 2*len(g.eu)),
+	}
+	// Pass 1: offsets from the running degrees.
+	for u := 0; u < n; u++ {
+		v.off[u+1] = v.off[u] + g.deg[u]
+	}
+	// Pass 2: fill, using off[u] as vertex u's write cursor; afterwards
+	// off[u] holds end(u) == start(u+1), so one backward shift restores
+	// the offsets without a separate cursor array.
+	for i, u := range g.eu {
+		w := g.ev[i]
+		v.tgt[v.off[u]] = w
+		v.off[u]++
+		v.tgt[v.off[w]] = u
+		v.off[w]++
+	}
+	for u := n; u > 0; u-- {
+		v.off[u] = v.off[u-1]
+	}
+	v.off[0] = 0
+	g.csr.Store(v)
+	return v
+}
+
+// sortedView returns the sorted-deduplicated CSR, building it on first
+// use: a copy of the adjacency with each vertex's arc list sorted
+// ascending and consecutive duplicates (parallel edges) dropped.
+func (g *Graph) sortedView() *sortedCSR {
+	v := g.view()
+	if s := v.sorted.Load(); s != nil {
+		return s
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if s := v.sorted.Load(); s != nil {
+		return s
+	}
+	n := g.n
+	s := &sortedCSR{
+		off: make([]int32, n+1),
+		tgt: make([]int32, 0, len(v.tgt)),
+	}
+	for u := 0; u < n; u++ {
+		row := v.tgt[v.off[u]:v.off[u+1]]
+		start := len(s.tgt)
+		s.tgt = append(s.tgt, row...)
+		seg := s.tgt[start:]
+		sortInt32s(seg)
+		// Compact consecutive duplicates in place.
+		w := start
+		for i, x := range seg {
+			if i == 0 || x != seg[i-1] {
+				s.tgt[w] = x
+				w++
+			}
+		}
+		s.tgt = s.tgt[:w]
+		s.off[u+1] = int32(w)
+	}
+	v.sorted.Store(s)
+	return s
+}
+
+// sortInt32s sorts a small int32 slice ascending: insertion sort below a
+// threshold (adjacency rows are usually degree-sized), sort.Slice-free
+// pdqsort via sort.Sort semantics above it.
+func sortInt32s(s []int32) {
+	if len(s) <= 24 {
+		for i := 1; i < len(s); i++ {
+			x := s[i]
+			j := i - 1
+			for j >= 0 && s[j] > x {
+				s[j+1] = s[j]
+				j--
+			}
+			s[j+1] = x
+		}
+		return
+	}
+	sort.Sort(int32Slice(s))
+}
+
+type int32Slice []int32
+
+func (s int32Slice) Len() int           { return len(s) }
+func (s int32Slice) Less(i, j int) bool { return s[i] < s[j] }
+func (s int32Slice) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
 // Degree returns the degree of u. A self-loop contributes 2: AddEdge(u,u)
-// stores two adjacency entries for u, so the list length is already the
+// stores two adjacency entries for u, so the count is already the
 // graph-theoretic degree.
 func (g *Graph) Degree(u int) int {
 	g.check(u)
-	return len(g.adj[u])
+	return int(g.deg[u])
 }
 
 // Neighbors returns a copy of u's adjacency list (possibly with
 // duplicates for parallel edges and u itself for self-loops).
 func (g *Graph) Neighbors(u int) []int {
 	g.check(u)
-	out := make([]int, len(g.adj[u]))
-	for i, w := range g.adj[u] {
+	v := g.view()
+	row := v.tgt[v.off[u]:v.off[u+1]]
+	out := make([]int, len(row))
+	for i, w := range row {
 		out[i] = int(w)
 	}
 	return out
 }
 
-// Adj returns u's adjacency list as a shared read-only view. Callers must
-// not modify the returned slice; use Neighbors for a private copy. This
-// no-copy accessor exists because the simulator touches adjacency on every
-// round for every node.
+// Adj returns u's adjacency list as a shared read-only view into the CSR
+// targets array. Callers must not modify the returned slice; use
+// Neighbors for a private copy. This no-copy accessor exists because the
+// simulator touches adjacency on every round for every node.
 func (g *Graph) Adj(u int) []int32 {
 	g.check(u)
-	return g.adj[u]
+	v := g.view()
+	return v.tgt[v.off[u]:v.off[u+1]:v.off[u+1]]
+}
+
+// SortedAdj returns u's adjacency sorted ascending with parallel edges
+// deduplicated, as a shared read-only view into the sorted CSR. The
+// simulator's membership stamps consume this directly, so engine
+// construction performs no per-vertex sorting.
+func (g *Graph) SortedAdj(u int) []int32 {
+	g.check(u)
+	s := g.sortedView()
+	return s.tgt[s.off[u]:s.off[u+1]:s.off[u+1]]
 }
 
 // Slots returns the vertex-slot count — for a static graph, simply N().
@@ -90,18 +275,19 @@ func (g *Graph) Adj(u int) []int32 {
 // substrate view shared with mutable topologies (byzantine.Substrate),
 // so placements and adversaries target static and churning networks
 // through one interface.
-func (g *Graph) Slots() int { return len(g.adj) }
+func (g *Graph) Slots() int { return g.n }
 
 // Alive reports whether slot u hosts a node; on a static graph every
 // vertex is always alive.
-func (g *Graph) Alive(u int) bool { return u >= 0 && u < len(g.adj) }
+func (g *Graph) Alive(u int) bool { return u >= 0 && u < g.n }
 
 // AppendNeighbors appends u's neighbor multiset to buf and returns the
 // extended slice, in adjacency order — the allocation-free counterpart
 // of Neighbors, matching sim.Topology's accessor.
 func (g *Graph) AppendNeighbors(u int, buf []int) []int {
 	g.check(u)
-	for _, w := range g.adj[u] {
+	v := g.view()
+	for _, w := range v.tgt[v.off[u]:v.off[u+1]] {
 		buf = append(buf, int(w))
 	}
 	return buf
@@ -111,13 +297,14 @@ func (g *Graph) AppendNeighbors(u int, buf []int) []int {
 func (g *Graph) HasEdge(u, v int) bool {
 	g.check(u)
 	g.check(v)
+	cv := g.view()
 	// Scan the smaller list.
-	a, b := u, v
-	if len(g.adj[a]) > len(g.adj[b]) {
+	a, b := int32(u), int32(v)
+	if g.deg[a] > g.deg[b] {
 		a, b = b, a
 	}
-	for _, w := range g.adj[a] {
-		if int(w) == b {
+	for _, w := range cv.tgt[cv.off[a]:cv.off[a+1]] {
+		if w == b {
 			return true
 		}
 	}
@@ -126,33 +313,33 @@ func (g *Graph) HasEdge(u, v int) bool {
 
 // MaxDegree returns the maximum vertex degree, or 0 for an empty graph.
 func (g *Graph) MaxDegree() int {
-	max := 0
-	for u := range g.adj {
-		if d := g.Degree(u); d > max {
+	max := int32(0)
+	for _, d := range g.deg {
+		if d > max {
 			max = d
 		}
 	}
-	return max
+	return int(max)
 }
 
 // MinDegree returns the minimum vertex degree, or 0 for an empty graph.
 func (g *Graph) MinDegree() int {
-	if len(g.adj) == 0 {
+	if g.n == 0 {
 		return 0
 	}
-	min := g.Degree(0)
-	for u := 1; u < len(g.adj); u++ {
-		if d := g.Degree(u); d < min {
+	min := g.deg[0]
+	for _, d := range g.deg[1:] {
+		if d < min {
 			min = d
 		}
 	}
-	return min
+	return int(min)
 }
 
 // IsRegular reports whether every vertex has degree d.
 func (g *Graph) IsRegular(d int) bool {
-	for u := range g.adj {
-		if g.Degree(u) != d {
+	for _, dd := range g.deg {
+		if int(dd) != d {
 			return false
 		}
 	}
@@ -160,16 +347,20 @@ func (g *Graph) IsRegular(d int) bool {
 }
 
 // IsSimple reports whether the graph has no self-loops and no parallel
-// edges.
+// edges. It stamps each row's targets into a scratch mark array, so the
+// cost is O(n + m) with no per-vertex maps — this runs inside the
+// simple-graph rejection-sampling loops of HNDSimple and RandomRegular.
 func (g *Graph) IsSimple() bool {
-	seen := make(map[int32]bool)
-	for u := range g.adj {
-		clear(seen)
-		for _, w := range g.adj[u] {
-			if int(w) == u || seen[w] {
+	v := g.view()
+	sc := getScratch(g.n)
+	defer putScratch(sc)
+	for u := 0; u < g.n; u++ {
+		gen := sc.nextGen()
+		for _, w := range v.tgt[v.off[u]:v.off[u+1]] {
+			if int(w) == u || sc.mark[w] == gen {
 				return false
 			}
-			seen[w] = true
+			sc.mark[w] = gen
 		}
 	}
 	return true
@@ -177,37 +368,42 @@ func (g *Graph) IsSimple() bool {
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{adj: make([][]int32, len(g.adj)), m: g.m}
-	for u, row := range g.adj {
-		c.adj[u] = append([]int32(nil), row...)
-	}
+	c := New(g.n)
+	c.m = g.m
+	c.eu = append([]int32(nil), g.eu...)
+	c.ev = append([]int32(nil), g.ev...)
+	copy(c.deg, g.deg)
 	return c
 }
 
-// Validate checks internal consistency: every directed arc has a matching
-// reverse arc and all endpoints are in range. It returns nil for a
-// well-formed graph. Graphs built only through AddEdge are always valid;
-// Validate guards deserialized or hand-built graphs.
+// Validate checks internal consistency: every endpoint of the edge log is
+// in range and the derived CSR offsets cover exactly the logged arcs. It
+// returns nil for a well-formed graph. Graphs built only through AddEdge
+// are always valid; Validate guards deserialized or hand-built graphs.
+// (The seed-era asymmetric-adjacency check is structural now: both arc
+// directions derive from one edge-log entry, so they cannot disagree.)
 func (g *Graph) Validate() error {
-	n := len(g.adj)
-	arcs := 0
-	type pair struct{ u, v int32 }
-	counts := make(map[pair]int)
-	for u, row := range g.adj {
-		for _, w := range row {
-			if w < 0 || int(w) >= n {
-				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", u, w)
-			}
-			counts[pair{int32(u), w}]++
-			arcs++
+	for i, u := range g.eu {
+		if u < 0 || int(u) >= g.n {
+			return fmt.Errorf("graph: edge %d has out-of-range endpoint %d", i, u)
+		}
+		w := g.ev[i]
+		if w < 0 || int(w) >= g.n {
+			return fmt.Errorf("graph: edge %d has out-of-range endpoint %d", i, w)
 		}
 	}
-	for p, c := range counts {
-		if p.u == p.v {
-			continue // self-loop: single arc entry per AddEdge... see below
-		}
-		if counts[pair{p.v, p.u}] != c {
-			return fmt.Errorf("graph: asymmetric adjacency between %d and %d", p.u, p.v)
+	// Recompute per-vertex degrees from the edge log and compare
+	// element-wise: the CSR fill trusts deg as its write cursors, so a
+	// per-vertex skew (even one that preserves the total) would corrupt
+	// the view silently.
+	want := make([]int32, g.n)
+	for i, u := range g.eu {
+		want[u]++
+		want[g.ev[i]]++
+	}
+	for u, d := range g.deg {
+		if d != want[u] {
+			return fmt.Errorf("graph: vertex %d has degree %d but the edge log implies %d", u, d, want[u])
 		}
 	}
 	return nil
@@ -216,7 +412,7 @@ func (g *Graph) Validate() error {
 // Vertices returns 0..n-1; convenient for range-style iteration in tests
 // and examples.
 func (g *Graph) Vertices() []int {
-	out := make([]int, len(g.adj))
+	out := make([]int, g.n)
 	for i := range out {
 		out[i] = i
 	}
@@ -227,21 +423,12 @@ func (g *Graph) Vertices() []int {
 // sorted lexicographically. Parallel edges appear once per multiplicity.
 func (g *Graph) EdgeList() [][2]int {
 	edges := make([][2]int, 0, g.m)
-	for u, row := range g.adj {
-		loops := 0
-		for _, w := range row {
-			v := int(w)
-			switch {
-			case u < v:
-				edges = append(edges, [2]int{u, v})
-			case u == v:
-				// Each loop contributes two adjacency entries; emit once
-				// per pair of entries.
-				loops++
-				if loops%2 == 0 {
-					edges = append(edges, [2]int{u, u})
-				}
-			}
+	for i, u := range g.eu {
+		v := g.ev[i]
+		if u <= v {
+			edges = append(edges, [2]int{int(u), int(v)})
+		} else {
+			edges = append(edges, [2]int{int(v), int(u)})
 		}
 	}
 	sort.Slice(edges, func(i, j int) bool {
@@ -258,10 +445,10 @@ func (g *Graph) EdgeList() [][2]int {
 // Edges with either endpoint dropped are removed; old->new is -1 for
 // dropped vertices.
 func (g *Graph) InducedSubgraph(keep []bool) (sub *Graph, oldToNew []int, newToOld []int) {
-	if len(keep) != len(g.adj) {
+	if len(keep) != g.n {
 		panic("graph: keep mask length mismatch")
 	}
-	oldToNew = make([]int, len(g.adj))
+	oldToNew = make([]int, g.n)
 	for i := range oldToNew {
 		oldToNew[i] = -1
 	}

@@ -120,14 +120,20 @@ func TestValidate(t *testing.T) {
 	if err := g.Validate(); err != nil {
 		t.Errorf("valid graph rejected: %v", err)
 	}
-	// Hand-corrupt: asymmetric arc.
+	// Hand-corrupt the edge log: a dangling arc (degree bump without a
+	// logged edge) and an out-of-range endpoint. Asymmetric adjacency is
+	// structurally impossible in the CSR representation — both arc
+	// directions derive from one edge-log entry — so the seed-era
+	// asymmetry corruption has no counterpart.
 	bad := New(2)
-	bad.adj[0] = append(bad.adj[0], 1)
+	bad.AddEdge(0, 1)
+	bad.deg[0]++ // degree sum no longer matches the edge log
 	if err := bad.Validate(); err == nil {
-		t.Error("asymmetric graph accepted")
+		t.Error("degree/edge-log mismatch accepted")
 	}
 	bad2 := New(2)
-	bad2.adj[0] = append(bad2.adj[0], 7)
+	bad2.AddEdge(0, 1)
+	bad2.ev[0] = 7 // out-of-range endpoint
 	if err := bad2.Validate(); err == nil {
 		t.Error("out-of-range neighbor accepted")
 	}

@@ -28,22 +28,32 @@ func (g *Graph) IsLocallyTreeLike(w, r, d int) bool {
 	if r < 1 {
 		return true
 	}
-	depth := map[int32]int{int32(w): 0}
-	queue := []int32{int32(w)}
+	cv := g.view()
+	sc := getScratch(g.n)
+	defer putScratch(sc)
+	// Depth bookkeeping in generation-stamped scratch: depth of v is
+	// sc.dist[v], valid iff sc.mark[v] carries the current generation (the
+	// seed code allocated a map per vertex tested, n maps per
+	// TreeLikeCount sweep).
+	gen := sc.nextGen()
+	sc.mark[w] = gen
+	sc.dist[w] = 0
+	queue := append(sc.queue[:0], int32(w))
+	defer func() { sc.queue = queue[:0] }()
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
-		du := depth[u]
-		if du == r {
+		du := sc.dist[u]
+		row := cv.tgt[cv.off[u]:cv.off[u+1]]
+		if int(du) == r {
 			// Boundary layer: edges leaving the ball are unconstrained, but
 			// the induced subgraph must still be a tree, so a boundary node
 			// may touch the ball only through its single parent edge.
 			parents := 0
-			for _, v := range g.adj[u] {
-				dv, seen := depth[v]
-				if !seen {
+			for _, v := range row {
+				if sc.mark[v] != gen {
 					continue // outside the ball
 				}
-				if dv != du-1 {
+				if sc.dist[v] != du-1 {
 					return false // same-layer or self edge inside the ball
 				}
 				parents++
@@ -54,17 +64,17 @@ func (g *Graph) IsLocallyTreeLike(w, r, d int) bool {
 			continue
 		}
 		// Interior vertex: must have exactly d incident edge endpoints.
-		if len(g.adj[u]) != d {
+		if len(row) != d {
 			return false
 		}
 		parents := 0
-		for _, v := range g.adj[u] {
-			dv, seen := depth[v]
+		for _, v := range row {
 			switch {
-			case !seen:
-				depth[v] = du + 1
+			case sc.mark[v] != gen:
+				sc.mark[v] = gen
+				sc.dist[v] = du + 1
 				queue = append(queue, v)
-			case dv == du-1:
+			case sc.dist[v] == du-1:
 				parents++
 				if parents > 1 {
 					return false // two parents: a cycle through the previous layer
@@ -89,7 +99,7 @@ func (g *Graph) IsLocallyTreeLike(w, r, d int) bool {
 // H(n,d)).
 func (g *Graph) TreeLikeCount(r, d int) int {
 	count := 0
-	for w := range g.adj {
+	for w := 0; w < g.n; w++ {
 		if g.IsLocallyTreeLike(w, r, d) {
 			count++
 		}
@@ -99,8 +109,8 @@ func (g *Graph) TreeLikeCount(r, d int) int {
 
 // TreeLikeFraction returns the fraction of locally tree-like vertices.
 func (g *Graph) TreeLikeFraction(r, d int) float64 {
-	if len(g.adj) == 0 {
+	if g.n == 0 {
 		return 0
 	}
-	return float64(g.TreeLikeCount(r, d)) / float64(len(g.adj))
+	return float64(g.TreeLikeCount(r, d)) / float64(g.n)
 }

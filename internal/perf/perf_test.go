@@ -57,12 +57,13 @@ func TestMeasureCalibrates(t *testing.T) {
 }
 
 // TestSuiteShape: the suite covers the engine micro-benchmarks
-// (static, churn, and churn-byz) and all eighteen experiments, names
-// are unique, and the filter selects by substring.
+// (static, churn, and churn-byz), the graph substrate workloads
+// (build-hnd, build-ws, build-regular, bfs), and all eighteen
+// experiments; names are unique, and the filter selects by substring.
 func TestSuiteShape(t *testing.T) {
 	suite := Suite(SuiteConfig{Quick: true})
-	if len(suite) != 8+18 {
-		t.Fatalf("suite has %d benchmarks, want 26", len(suite))
+	if len(suite) != 12+18 {
+		t.Fatalf("suite has %d benchmarks, want 30", len(suite))
 	}
 	seen := map[string]bool{}
 	experiments := 0
@@ -86,6 +87,12 @@ func TestSuiteShape(t *testing.T) {
 	}
 	if !seen["engine/churn-flood/serial/n=1024"] {
 		t.Error("suite is missing engine/churn-flood/serial/n=1024")
+	}
+	if !seen["graph/build-hnd/n=4096"] {
+		t.Error("suite is missing graph/build-hnd/n=4096")
+	}
+	if !seen["graph/bfs/n=4096"] {
+		t.Error("suite is missing graph/bfs/n=4096")
 	}
 	if !seen["engine/churn-byz/serial/n=1024"] {
 		t.Error("suite is missing engine/churn-byz/serial/n=1024")

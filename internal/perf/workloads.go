@@ -257,6 +257,64 @@ func floodBenchmark(name string, n, d, workers int, minTime time.Duration) Bench
 	}
 }
 
+// graphBuildBenchmark measures a full substrate build through finalize:
+// generator draws, CSR finalize, and the sorted-dedup view — everything
+// engine construction consumes. One iteration is one complete build from
+// a re-seeded stream, so successive iterations are identical work. With
+// the flat-CSR graph core a build performs a constant number of
+// allocations (gated by TestBuildAllocsConstant in internal/graph).
+func graphBuildBenchmark(name string, seed uint64, build func(rng *xrand.Rand) (*graph.Graph, error), minTime time.Duration) Benchmark {
+	return Benchmark{
+		Name:    name,
+		MinTime: minTime,
+		Setup: func() (func(int) (Totals, error), error) {
+			rng := xrand.New(seed)
+			return func(iters int) (Totals, error) {
+				for i := 0; i < iters; i++ {
+					rng.Reseed(seed)
+					g, err := build(rng)
+					if err != nil {
+						return Totals{}, err
+					}
+					g.Adj(0)       // finalize the CSR
+					g.SortedAdj(0) // and the sorted-dedup view
+				}
+				return Totals{}, nil
+			}, nil
+		},
+	}
+}
+
+// graphBFSBenchmark measures structural traversal over a prebuilt
+// substrate: one iteration is one full BFS into a reused distance
+// buffer (the placement/diameter machinery's access pattern), from a
+// rotating source.
+func graphBFSBenchmark(name string, n, d int, minTime time.Duration) Benchmark {
+	return Benchmark{
+		Name:    name,
+		MinTime: minTime,
+		Warmup:  4,
+		Setup: func() (func(int) (Totals, error), error) {
+			g, err := graph.HND(n, d, xrand.New(4))
+			if err != nil {
+				return nil, err
+			}
+			dist := make([]int, g.N())
+			src := 0
+			return func(iters int) (Totals, error) {
+				for i := 0; i < iters; i++ {
+					g.BFSInto(dist, src, g.N())
+					src++
+					if src == g.N() {
+						src = 0
+					}
+				}
+				return Totals{}, nil
+			}, nil
+		},
+	}
+}
+
 // congestBenchmark measures a full benign CONGEST counting run
 // (engine construction included); one iteration is one complete run.
 func congestBenchmark(minTime time.Duration) Benchmark {
@@ -350,6 +408,16 @@ func Suite(cfg SuiteConfig) []Benchmark {
 		churnByzBenchmark("engine/churn-byz/serial/n=1024", 1024, 8, 1, 2, micro),
 		churnByzBenchmark(fmt.Sprintf("engine/churn-byz/parallel=%d/n=1024", workers),
 			1024, 8, workers, 2, micro),
+		graphBuildBenchmark("graph/build-hnd/n=4096", 4, func(rng *xrand.Rand) (*graph.Graph, error) {
+			return graph.HND(4096, 8, rng)
+		}, micro),
+		graphBuildBenchmark("graph/build-ws/n=4096", 4, func(rng *xrand.Rand) (*graph.Graph, error) {
+			return graph.WattsStrogatz(4096, 4, 0.2, rng)
+		}, micro),
+		graphBuildBenchmark("graph/build-regular/n=1024", 4, func(rng *xrand.Rand) (*graph.Graph, error) {
+			return graph.SimpleRegular(1024, 8, 100, rng)
+		}, micro),
+		graphBFSBenchmark("graph/bfs/n=4096", 4096, 8, micro),
 		congestBenchmark(micro),
 	}
 	for _, id := range expt.IDs() {

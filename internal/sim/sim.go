@@ -25,7 +25,6 @@ import (
 	"errors"
 	"fmt"
 	"slices"
-	"sort"
 	"sync"
 
 	"byzcount/internal/graph"
@@ -346,26 +345,39 @@ var ErrSizeMismatch = errors.New("sim: process count does not match vertex count
 // NewEngine creates an engine over the static graph g. Node IDs and
 // per-node random streams derive from seed; vertex v's stream is
 // independent of all others.
+//
+// Construction ingests the graph's CSR arrays directly: every Env's
+// Neighbors and NeighborIDs slices are carved out of two engine-owned
+// slabs sized to the total arc count (two allocations instead of the 2n
+// per-vertex copies the seed code made), and the sorted-deduplicated
+// adjacency used by the membership stamps aliases the graph's shared
+// sorted CSR — no per-vertex sorting. Static engines never mutate those
+// rows, so aliasing an immutable (possibly cache-shared) graph is safe;
+// topology engines re-resolve into private buffers instead.
 func NewEngine(g *graph.Graph, seed uint64) *Engine {
 	e := newEngine(g.N(), seed)
 	e.g = g
 	for v := 0; v < e.n; v++ {
 		e.assignID(v)
 	}
+	arcs := 0
 	for v := 0; v < e.n; v++ {
-		nbrs := g.Neighbors(v)
-		nbrIDs := make([]NodeID, len(nbrs))
-		sorted := make([]int32, len(nbrs))
-		for k, w := range nbrs {
-			nbrIDs[k] = e.ids[w]
-			sorted[k] = int32(w)
+		arcs += g.Degree(v)
+	}
+	nbrSlab := make([]int, 0, arcs)
+	idSlab := make([]NodeID, 0, arcs)
+	for v := 0; v < e.n; v++ {
+		adj := g.Adj(v)
+		lo := len(nbrSlab)
+		for _, w := range adj {
+			nbrSlab = append(nbrSlab, int(w))
+			idSlab = append(idSlab, e.ids[w])
 		}
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		e.sortedAdj[v] = dedupSorted(sorted)
+		e.sortedAdj[v] = g.SortedAdj(v)
 		e.envs[v].ID = e.ids[v]
-		e.envs[v].Degree = g.Degree(v)
-		e.envs[v].Neighbors = nbrs
-		e.envs[v].NeighborIDs = nbrIDs
+		e.envs[v].Degree = len(adj)
+		e.envs[v].Neighbors = nbrSlab[lo:len(nbrSlab):len(nbrSlab)]
+		e.envs[v].NeighborIDs = idSlab[lo:len(idSlab):len(idSlab)]
 	}
 	return e
 }
