@@ -308,6 +308,45 @@ func BenchmarkEngineChurnByzRoundThroughputParallel8(b *testing.B) {
 	benchEngineChurnByzThroughput(b, 8)
 }
 
+// benchLatticeRoundThroughput times the flood on an implicit C_n^4
+// ring lattice (perf.NewLatticeFloodEngine — the scaling lane's cell
+// workload, BENCH.json's scaling/flood/*): neighborhoods come from
+// closed-form arithmetic resolved lazily into degree-hinted slabs, so
+// this measures the engine's round loop without any materialized
+// adjacency behind it. Allocs/op reports the steady state: 0.
+func benchLatticeRoundThroughput(b *testing.B, workers int) {
+	eng, err := perf.NewLatticeFloodEngine(4096, 4, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRoundThroughput(b, eng)
+}
+
+func BenchmarkLatticeRoundThroughput(b *testing.B) {
+	benchLatticeRoundThroughput(b, 1)
+}
+
+func BenchmarkLatticeRoundThroughputParallel8(b *testing.B) {
+	benchLatticeRoundThroughput(b, 8)
+}
+
+// BenchmarkImplicitEngineConstruction times standing up a topology
+// engine over an implicit lattice — the path the million-vertex lane
+// takes. The budget is three degree-hinted slab carves plus the slot
+// arrays; compare against BenchmarkGraphFinalize for the materialized
+// counterpart's cost.
+func BenchmarkImplicitEngineConstruction(b *testing.B) {
+	lat, err := graph.NewRingLattice(4096, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.NewTopologyEngine(lat, 7)
+	}
+}
+
 func BenchmarkCongestBenignRun(b *testing.B) {
 	rng := xrand.New(6)
 	g, err := graph.HND(256, 8, rng)

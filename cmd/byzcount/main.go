@@ -90,9 +90,10 @@ func usage() {
   byzcount graph [flags]                generate a substrate and print its statistics
 flags for expt/all: -seed N  -trials N  -quick  -parallel N  -subcache=false
 flags for run:      -proto congest|local|geometric|support|kmv|walk|tree  -n N  -d D
+                    -substrate S (see list; implicit families scale to n=10^6)
                     -byz B  -attack spam|silent|fake|crash
                     -placement random|clustered|spread  -seed N  -parallel N
-                    -churn K  -churn-stop R
+                    -max-phase P  -churn K  -churn-stop R (churn requires -substrate hnd)
 (-parallel defaults to GOMAXPROCS; outputs are identical for every value)
 (-churn K runs on the dynamically maintained H(n,d): K leaves + K joins
  between every pair of rounds, quiescing at round R; with -byz B the
@@ -102,6 +103,9 @@ flags for matrix:   comma-separated axis lists -proto -substrate -adversary
                     -max-phase P  -stop-frac F  -seed N  -trials N  -parallel N
                     -format table|csv  -subcache=false
 flags for bench:    -quick  -out FILE  -filter SUBSTR  -parallel N
+                    -scaling (n x workers sweep on the implicit lattice)
+                    -require-clean (refuse a dirty-tree snapshot)
+                    -diff [-tolerance F] OLD.json NEW.json (exit 1 past tolerance)
 flags for graph:    -kind hnd|regular|smallworld|ring|torus|dumbbell  -n N  -d D
                     -seed N  -out FILE`)
 }
@@ -158,14 +162,35 @@ func benchCmd(args []string) error {
 	out := fs.String("out", "BENCH.json", "write the JSON record here (empty disables)")
 	filter := fs.String("filter", "", "only run benchmarks whose name contains this substring")
 	parallel := fs.Int("parallel", 8, "worker count for the parallel engine benchmark")
+	scaling := fs.Bool("scaling", false,
+		"run the multi-core scaling sweep (implicit lattice, n x workers) instead of the standard suite")
+	diff := fs.Bool("diff", false,
+		"compare two records instead of benchmarking: bench -diff [-tolerance F] old.json new.json")
+	tolerance := fs.Float64("tolerance", 0.25,
+		"allowed relative ns/op slowdown per workload for -diff (0.25 = 1.25x)")
+	requireClean := fs.Bool("require-clean", false,
+		"refuse to snapshot from a dirty working tree (CI sets this: a dirty record's git_sha lies)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *diff {
+		return benchDiff(fs.Args(), *tolerance)
+	}
 	suite := perf.Suite(perf.SuiteConfig{Quick: *quick, Parallel: *parallel, Filter: *filter})
+	if *scaling {
+		suite = perf.ScalingSuite(perf.ScalingConfig{Quick: *quick, Filter: *filter})
+	}
 	if len(suite) == 0 {
 		return fmt.Errorf("no benchmarks match filter %q", *filter)
 	}
 	rec := perf.NewRecord(*quick)
+	if rec.GitDirty {
+		if *requireClean {
+			return fmt.Errorf("working tree is dirty and -require-clean is set; commit or stash before snapshotting")
+		}
+		fmt.Fprintln(os.Stderr, "bench: WARNING: working tree is dirty — the record's git_sha does not identify"+
+			" the measured code (git_dirty=true will be recorded)")
+	}
 	start := time.Now()
 	fmt.Printf("%-40s %14s %12s %12s %14s %14s\n",
 		"benchmark", "ns/op", "B/op", "allocs/op", "msgs/s", "rounds/s")
@@ -188,6 +213,27 @@ func benchCmd(args []string) error {
 		}
 		fmt.Printf("record written to %s\n", *out)
 	}
+	return nil
+}
+
+// benchDiff compares two BENCH.json records and fails loudly when any
+// common workload slowed past the tolerance — the enforcement half of
+// the committed-snapshot trajectory.
+func benchDiff(paths []string, tolerance float64) error {
+	if len(paths) != 2 {
+		return fmt.Errorf("bench -diff takes exactly two records: bench -diff old.json new.json")
+	}
+	rep, err := perf.Diff(paths[0], paths[1], tolerance)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	if regs := rep.Regressions(); len(regs) > 0 {
+		return fmt.Errorf("%d workload(s) regressed past the %.0f%% tolerance (worst: %s at %.2fx)",
+			len(regs), tolerance*100, regs[0].Name, regs[0].Ratio)
+	}
+	fmt.Printf("no regressions past %.0f%% tolerance (%d common, %d added, %d removed)\n",
+		tolerance*100, len(rep.Common), len(rep.Added), len(rep.Removed))
 	return nil
 }
 
@@ -306,11 +352,15 @@ func resolveAttack(attack, proto string) (string, error) {
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	proto := fs.String("proto", "congest", "protocol: congest|local|geometric|support|kmv|walk|tree")
+	substrate := fs.String("substrate", "hnd",
+		"substrate family (see `byzcount list`; *-implicit and lattice families never materialize adjacency)")
 	n := fs.Int("n", 256, "network size")
 	d := fs.Int("d", 8, "degree (even for H(n,d))")
 	byzN := fs.Int("byz", 0, "number of Byzantine nodes (a fraction byz/n is maintained under churn)")
 	attack := fs.String("attack", "spam", "attack: spam|silent|fake|crash")
 	placement := fs.String("placement", "random", "placement: random|clustered|spread")
+	maxPhase := fs.Int("max-phase", 12,
+		"congest phase cap; low values bound the round count at n=10^6 scale")
 	seed := fs.Uint64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"engine step-shard workers; runs are identical for every value")
@@ -330,13 +380,13 @@ func runCmd(args []string) error {
 	}
 	sc := expt.Scenario{
 		Proto:     *proto,
-		Substrate: "hnd",
+		Substrate: *substrate,
 		Adversary: adversary,
 		Placement: *placement,
 		N:         *n,
 		D:         *d,
 		Byz:       *byzN,
-		MaxPhase:  12,
+		MaxPhase:  *maxPhase,
 		StopFrac:  1,
 		Churn:     expt.ChurnProfile{Leaves: *churn, Joins: *churn, StopAfter: *churnStop, Mixed: true},
 	}

@@ -114,7 +114,7 @@ func (p *Proc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
 		tokens := collectTokens(in)
 		budget := 3 * p.params.TokensPerNode
 		if len(tokens) > budget {
-			env.Rand.Shuffle(len(tokens), func(i, j int) { tokens[i], tokens[j] = tokens[j], tokens[i] })
+			env.Rand().Shuffle(len(tokens), func(i, j int) { tokens[i], tokens[j] = tokens[j], tokens[i] })
 			tokens = tokens[:budget]
 		}
 		for _, tok := range tokens {
@@ -128,8 +128,8 @@ func (p *Proc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
 			p.samples = append(p.samples, tok.Value)
 		}
 		if len(p.samples) >= 2 {
-			i := env.Rand.Intn(len(p.samples))
-			j := env.Rand.Intn(len(p.samples) - 1)
+			i := env.Rand().Intn(len(p.samples))
+			j := env.Rand().Intn(len(p.samples) - 1)
 			if j >= i {
 				j++
 			}
@@ -164,7 +164,7 @@ func collectTokens(in []sim.Incoming) []Token {
 
 func (p *Proc) hop(env *sim.Env, tok Token) sim.Outgoing {
 	return sim.Outgoing{
-		To:      env.Neighbors[env.Rand.Intn(len(env.Neighbors))],
+		To:      env.Neighbors[env.Rand().Intn(len(env.Neighbors))],
 		Payload: tok,
 	}
 }
@@ -189,14 +189,14 @@ func (f *ValueFlipper) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Ou
 		if tok, ok := m.Payload.(Token); ok {
 			flipped := Token{Value: 1 - min(tok.Value, 1)}
 			out = append(out, sim.Outgoing{
-				To:      env.Neighbors[env.Rand.Intn(len(env.Neighbors))],
+				To:      env.Neighbors[env.Rand().Intn(len(env.Neighbors))],
 				Payload: flipped,
 			})
 		}
 	}
 	for i := 0; i < f.Extra; i++ {
 		out = append(out, sim.Outgoing{
-			To:      env.Neighbors[env.Rand.Intn(len(env.Neighbors))],
+			To:      env.Neighbors[env.Rand().Intn(len(env.Neighbors))],
 			Payload: Token{Value: f.Prefer},
 		})
 	}

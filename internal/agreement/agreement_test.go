@@ -117,7 +117,7 @@ func TestProcHalts(t *testing.T) {
 	if p.Halted() {
 		t.Error("fresh proc halted")
 	}
-	env := &sim.Env{Vertex: 0, Neighbors: []int{1}, Rand: xrand.New(1)}
+	env := sim.Env{Vertex: 0, Neighbors: []int{1}}.WithRand(xrand.New(1))
 	for r := 0; r < params.TotalRounds()+1; r++ {
 		p.Step(env, r, nil)
 	}

@@ -92,7 +92,7 @@ func (p *LeaderProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outg
 	out := env.Scratch()
 	if round == 0 {
 		prob := p.params.C / p.params.NHat
-		if env.Rand.Bernoulli(prob) {
+		if env.Rand().Bernoulli(prob) {
 			p.candidate = true
 			p.leader = env.ID
 			p.hasLeader = true

@@ -132,7 +132,7 @@ func TestAttachKIdempotent(t *testing.T) {
 func TestBeaconSpammerEveryRound(t *testing.T) {
 	sched := counting.Schedule{StartPhase: 2, Gamma: 0.5}
 	sp := NewBeaconSpammer(sched, 3, true, xrand.New(77))
-	env := &sim.Env{Neighbors: []int{1}, Rand: xrand.New(78)}
+	env := sim.Env{Neighbors: []int{1}}.WithRand(xrand.New(78))
 	sends := 0
 	// Phase 2 iteration: offsets 0..8; beacon window sends at 0..3.
 	for r := 0; r < 9; r++ {

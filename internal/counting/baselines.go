@@ -67,7 +67,7 @@ func (p *GeometricProc) Halted() bool { return p.decided }
 func (p *GeometricProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
 	if !p.drawn {
 		p.drawn = true
-		p.best = env.Rand.Geometric()
+		p.best = env.Rand().Geometric()
 		return env.Broadcast(GeoMax{Value: p.best})
 	}
 	improved := false
@@ -156,7 +156,7 @@ func (p *SupportProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Out
 		p.drawn = true
 		p.mins = make([]float64, p.k)
 		for i := range p.mins {
-			p.mins[i] = env.Rand.Exponential(1)
+			p.mins[i] = env.Rand().Exponential(1)
 		}
 		return env.Broadcast(SupportMin{Mins: append([]float64(nil), p.mins...)})
 	}

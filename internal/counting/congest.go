@@ -144,7 +144,7 @@ func (c *CongestProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Out
 			break
 		}
 		p := ActivationProbability(c.params.C1, i, env.Degree)
-		if env.Rand.Bernoulli(p) {
+		if env.Rand().Bernoulli(p) {
 			c.spSet = true
 			c.sp = []sim.NodeID{env.ID}
 			out = env.AppendBroadcast(out, Beacon{Origin: env.ID})

@@ -85,7 +85,7 @@ func (p *KMVProc) Halted() bool { return p.decided }
 func (p *KMVProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgoing {
 	if !p.drawn {
 		p.drawn = true
-		p.insert(env.Rand.Uint64())
+		p.insert(env.Rand().Uint64())
 		return env.Broadcast(KMVHash{Mins: append([]uint64(nil), p.mins...)})
 	}
 	improved := false
@@ -222,7 +222,7 @@ func (p *ReturnWalkProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.
 			continue // abandon overlong walks
 		}
 		out = append(out, sim.Outgoing{
-			To:      env.Neighbors[env.Rand.Intn(len(env.Neighbors))],
+			To:      env.Neighbors[env.Rand().Intn(len(env.Neighbors))],
 			Payload: WalkToken{Origin: tok.Origin, Steps: tok.Steps + 1},
 		})
 	}
@@ -230,7 +230,7 @@ func (p *ReturnWalkProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.
 		p.inFlight = true
 		p.launched++
 		out = append(out, sim.Outgoing{
-			To:      env.Neighbors[env.Rand.Intn(len(env.Neighbors))],
+			To:      env.Neighbors[env.Rand().Intn(len(env.Neighbors))],
 			Payload: WalkToken{Origin: env.ID, Steps: 1},
 		})
 	}

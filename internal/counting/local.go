@@ -160,7 +160,7 @@ func (l *LocalProc) Step(env *sim.Env, round int, in []sim.Incoming) []sim.Outgo
 		return nil
 	}
 	if l.params.EnableSweep && round >= l.params.SweepMinRound {
-		if !l.view.SweepCheck(l.params.Alpha, l.params.SweepIters, env.Rand) {
+		if !l.view.SweepCheck(l.params.Alpha, l.params.SweepIters, env.Rand()) {
 			l.decide(round)
 			return nil
 		}

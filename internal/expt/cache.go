@@ -22,6 +22,12 @@ package expt
 // safe. Tables are byte-identical with the cache on or off — the golden
 // cross-check in cache_test.go pins this for E1/E3/E15 across
 // -parallel 1/8.
+//
+// Implicit families (Substrate.Implicit set) never reach this cache:
+// building an implicit topology is a couple of field writes — strictly
+// cheaper than the lock-and-lookup — and there is no CSR to share. Keys
+// therefore never need an "implicit" dimension: the cache holds only
+// materialized *graph.Graph builds.
 
 import (
 	"sync"

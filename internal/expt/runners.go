@@ -51,9 +51,25 @@ func runProtocolFrac(g *graph.Graph, byz []bool, seed uint64, honestProc, byzPro
 // every value, so only the CLI ever passes anything else).
 func runProtocolFracPar(g *graph.Graph, byz []bool, seed uint64, honestProc, byzProc mkProc,
 	maxRounds int, stopFrac float64, workers int) (runOutcome, error) {
-	eng := sim.NewEngine(g, seed)
+	return runProtocolOnEngine(sim.NewEngine(g, seed), g.N(), byz, honestProc, byzProc, maxRounds, stopFrac, workers)
+}
+
+// runProtocolFracParTopo is runProtocolFracPar over an implicit
+// topology: the engine resolves neighborhoods on demand instead of
+// ingesting a materialized CSR. NewEngine and NewTopologyEngine assign
+// IDs from the same seed-derived stream in slot order, so over
+// identical adjacency the two paths produce byte-identical runs.
+func runProtocolFracParTopo(topo sim.Topology, byz []bool, seed uint64, honestProc, byzProc mkProc,
+	maxRounds int, stopFrac float64, workers int) (runOutcome, error) {
+	return runProtocolOnEngine(sim.NewTopologyEngine(topo, seed), topo.Slots(), byz, honestProc, byzProc, maxRounds, stopFrac, workers)
+}
+
+// runProtocolOnEngine is the substrate-independent protocol run body
+// shared by the static and implicit paths.
+func runProtocolOnEngine(eng *sim.Engine, n int, byz []bool, honestProc, byzProc mkProc,
+	maxRounds int, stopFrac float64, workers int) (runOutcome, error) {
 	eng.SetParallelism(workers)
-	procs := make([]sim.Proc, g.N())
+	procs := make([]sim.Proc, n)
 	for v := range procs {
 		if byz != nil && byz[v] {
 			procs[v] = byzProc(v, eng)
@@ -64,7 +80,7 @@ func runProtocolFracPar(g *graph.Graph, byz []bool, seed uint64, honestProc, byz
 	if err := eng.Attach(procs); err != nil {
 		return runOutcome{}, err
 	}
-	honest := make([]bool, g.N())
+	honest := make([]bool, n)
 	for v := range honest {
 		honest[v] = byz == nil || !byz[v]
 	}

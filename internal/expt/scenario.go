@@ -269,7 +269,33 @@ type Substrate struct {
 	// share a single build.
 	Deterministic bool
 	Build         func(n, d int, rng *xrand.Rand) (*graph.Graph, error)
+	// Implicit, when set, marks an on-demand family: RunScenario runs it
+	// on sim.NewTopologyEngine over the returned topology instead of
+	// materializing a CSR, so a million-vertex cell costs O(1) substrate
+	// memory. The run path mirrors the static split-label sequence and
+	// both engine constructors share their ID-stream derivation, so an
+	// implicit cell's outputs are byte-identical to its materialized
+	// counterpart's (pinned by TestImplicitScenarioMatchesMaterialized).
+	// Implicit families bypass the substrate cache — building one is a
+	// couple of field writes, cheaper than the cache lookup (see
+	// cache.go). Build stays populated as the materialized counterpart
+	// for tooling that needs a *graph.Graph.
+	Implicit func(n, d int) (sim.Topology, error)
 }
+
+// torusSide returns the smallest side with side*side >= n — the square
+// shape both torus substrates share.
+func torusSide(n int) int {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	return side
+}
+
+// latticeK maps the scenario degree axis to the ring-lattice k (2k
+// neighbors per vertex), mirroring the smallworld family's d/2.
+func latticeK(d int) int { return max(d/2, 1) }
 
 // Substrates is the substrate-axis registry.
 var Substrates = map[string]Substrate{
@@ -286,12 +312,36 @@ var Substrates = map[string]Substrate{
 		return graph.Ring(n)
 	}},
 	"torus": {Name: "torus", Deterministic: true, Build: func(n, d int, rng *xrand.Rand) (*graph.Graph, error) {
-		side := 1
-		for side*side < n {
-			side++
-		}
-		return graph.Torus(side, side)
+		return graph.Torus(torusSide(n), torusSide(n))
 	}},
+	// Implicit counterparts of the deterministic families, plus the
+	// unrewired k-nearest lattice: same adjacency (row for row), no
+	// materialized CSR — the substrates the n=10^6 scaling lane runs on.
+	"ring-implicit": {Name: "ring-implicit", Deterministic: true,
+		Build: func(n, d int, rng *xrand.Rand) (*graph.Graph, error) {
+			return graph.Ring(n)
+		},
+		Implicit: func(n, d int) (sim.Topology, error) {
+			return graph.ImplicitRing(n)
+		}},
+	"torus-implicit": {Name: "torus-implicit", Deterministic: true,
+		Build: func(n, d int, rng *xrand.Rand) (*graph.Graph, error) {
+			return graph.Torus(torusSide(n), torusSide(n))
+		},
+		Implicit: func(n, d int) (sim.Topology, error) {
+			return graph.NewTorusGrid(torusSide(n), torusSide(n))
+		}},
+	"lattice": {Name: "lattice", Deterministic: true,
+		Build: func(n, d int, rng *xrand.Rand) (*graph.Graph, error) {
+			lat, err := graph.NewRingLattice(n, latticeK(d))
+			if err != nil {
+				return nil, err
+			}
+			return lat.Materialize()
+		},
+		Implicit: func(n, d int) (sim.Topology, error) {
+			return graph.NewRingLattice(n, latticeK(d))
+		}},
 }
 
 // Adversary is one value of the adversary axis: what Byzantine nodes
@@ -428,9 +478,10 @@ type ScenarioOutcome struct {
 	Rounds   int
 	Metrics  sim.Metrics
 
-	Byz    []bool       // initial Byzantine mask, by vertex/slot
-	Graph  *graph.Graph // static runs
-	Engine *sim.Engine  // static runs
+	Byz      []bool       // initial Byzantine mask, by vertex/slot
+	Graph    *graph.Graph // static (materialized) runs
+	Topology sim.Topology // implicit-substrate runs (Graph stays nil)
+	Engine   *sim.Engine  // static and implicit runs
 
 	// Churn runs only:
 	Runner     *dynamic.Runner
@@ -465,7 +516,61 @@ func RunScenario(sc Scenario, rng *xrand.Rand, workers int) (*ScenarioOutcome, e
 	if sc.Churn.Active() || sc.Dynamic {
 		return runScenarioChurn(sc, ctx, proto, adv, workers)
 	}
+	if Substrates[sc.Substrate].Implicit != nil {
+		return runScenarioImplicit(sc, ctx, proto, adv, workers)
+	}
 	return runScenarioStatic(sc, ctx, proto, adv, workers)
+}
+
+// runScenarioImplicit is the on-demand-substrate path: no CSR is
+// materialized — the engine resolves neighborhoods lazily from the
+// implicit topology. The split-label sequence ("graph", "place", "run")
+// mirrors runScenarioStatic call for call (the "graph" stream is split
+// even though deterministic implicit builds never draw from it), and
+// NewTopologyEngine assigns IDs exactly as NewEngine does, so a cell's
+// outputs are byte-identical to the materialized counterpart's.
+func runScenarioImplicit(sc Scenario, ctx *scenarioCtx, proto Protocol, adv Adversary, workers int) (*ScenarioOutcome, error) {
+	sub := Substrates[sc.Substrate]
+	_ = ctx.rng.Split("graph")
+	topo, err := sub.Implicit(sc.N, sc.D)
+	if err != nil {
+		return nil, fmt.Errorf("expt: building %s(n=%d,d=%d): %w", sc.Substrate, sc.N, sc.D, err)
+	}
+	count, _ := sc.byzBudget()
+	byz := make([]bool, topo.Slots())
+	if count > 0 {
+		byz, err = Placements[sc.Placement](topo, count, ctx.rng.Split("place"))
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctx.byz = byz
+	if adv.Prepare != nil {
+		if err := adv.Prepare(ctx); err != nil {
+			return nil, err
+		}
+	}
+	maxRounds := sc.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = proto.MaxRounds(ctx)
+	}
+	r, err := runProtocolFracParTopo(topo, byz, ctx.rng.Split("run").Uint64(),
+		func(v int, eng *sim.Engine) sim.Proc { return proto.Proc(ctx, v) },
+		func(v int, eng *sim.Engine) sim.Proc { return adv.Proc(ctx, v) },
+		maxRounds, sc.StopFrac, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioOutcome{
+		Outcomes: r.outcomes,
+		Honest:   r.honest,
+		Procs:    r.procs,
+		Rounds:   r.rounds,
+		Metrics:  r.metrics,
+		Byz:      byz,
+		Topology: topo,
+		Engine:   r.engine,
+	}, nil
 }
 
 // runScenarioStatic is the static-substrate path; its split-label

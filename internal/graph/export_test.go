@@ -3,5 +3,24 @@ package graph
 // EdgeLog exposes the insertion-ordered edge log to the
 // cross-representation property test, which replays it through a naive
 // slice-of-slices adjacency (the seed representation) and compares every
-// structural observation against the CSR.
-func (g *Graph) EdgeLog() (eu, ev []int32) { return g.eu, g.ev }
+// structural observation against the CSR. The chunked log is flattened
+// into fresh endpoint slices; order is insertion order.
+func (g *Graph) EdgeLog() (eu, ev []int32) {
+	eu = make([]int32, 0, g.m)
+	ev = make([]int32, 0, g.m)
+	for _, ch := range g.log {
+		for i := 0; i < len(ch); i += 2 {
+			eu = append(eu, ch[i])
+			ev = append(ev, ch[i+1])
+		}
+	}
+	return eu, ev
+}
+
+// EdgeLogChunks exposes the chunk structure so the chunking tests can
+// assert chunk bounds and no-copy growth without widening the API.
+func (g *Graph) EdgeLogChunks() [][]int32 { return g.log }
+
+// ForceEdgeCount overrides the edge counter so the AddEdge overflow
+// panic is testable without logging two billion arcs.
+func (g *Graph) ForceEdgeCount(m int) { g.m = m }

@@ -18,6 +18,9 @@ func HND(n, d int, rng *xrand.Rand) (*Graph, error) {
 	if d < 2 || d%2 != 0 {
 		return nil, fmt.Errorf("graph: HND requires even d >= 2, got %d", d)
 	}
+	if err := CheckEdgeBudget(n * d / 2); err != nil {
+		return nil, err
+	}
 	g := New(n)
 	g.Reserve(n * d / 2)
 	for c := 0; c < d/2; c++ {
@@ -61,6 +64,9 @@ func ConfigurationModel(degrees []int, rng *xrand.Rand) (*Graph, error) {
 	}
 	if total%2 != 0 {
 		return nil, fmt.Errorf("graph: odd degree sum %d", total)
+	}
+	if err := CheckEdgeBudget(total / 2); err != nil {
+		return nil, err
 	}
 	stubs := make([]int32, 0, total)
 	for v, d := range degrees {
@@ -120,6 +126,9 @@ func WattsStrogatz(n, k int, beta float64, rng *xrand.Rand) (*Graph, error) {
 	}
 	if beta < 0 || beta > 1 {
 		return nil, fmt.Errorf("graph: WattsStrogatz beta %v outside [0,1]", beta)
+	}
+	if err := CheckEdgeBudget(n * k); err != nil {
+		return nil, err
 	}
 	// Track existing edges to keep the graph simple under rewiring:
 	// per-vertex sorted adjacency with binary-search membership and
@@ -217,7 +226,11 @@ func Ring(n int) (*Graph, error) {
 	if n < 3 {
 		return nil, fmt.Errorf("graph: Ring requires n >= 3, got %d", n)
 	}
+	if err := CheckEdgeBudget(n); err != nil {
+		return nil, err
+	}
 	g := New(n)
+	g.Reserve(n)
 	for i := 0; i < n; i++ {
 		g.AddEdge(i, (i+1)%n)
 	}
@@ -242,7 +255,11 @@ func Torus(rows, cols int) (*Graph, error) {
 	if rows < 3 || cols < 3 {
 		return nil, fmt.Errorf("graph: Torus requires rows, cols >= 3 (got %dx%d)", rows, cols)
 	}
+	if err := CheckEdgeBudget(2 * rows * cols); err != nil {
+		return nil, err
+	}
 	g := New(rows * cols)
+	g.Reserve(2 * rows * cols)
 	id := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
@@ -258,7 +275,11 @@ func Complete(n int) (*Graph, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("graph: Complete requires n >= 1, got %d", n)
 	}
+	if err := CheckEdgeBudget(n * (n - 1) / 2); err != nil {
+		return nil, err
+	}
 	g := New(n)
+	g.Reserve(n * (n - 1) / 2)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			g.AddEdge(u, v)

@@ -14,16 +14,21 @@
 //
 // # Memory model
 //
-// A Graph is built incrementally (New + AddEdge append to a flat edge
-// log) and read through a CSR (compressed sparse row) view: one offsets
-// array and one targets array backing every adjacency list, finalized
-// lazily by a two-pass degree-count/fill step on first read after a
-// mutation. Per-vertex adjacency is therefore a slice into a single
-// backing array — no per-vertex allocations, cache-friendly traversal —
-// and a complete build costs O(m) time and a constant number of
-// allocations (Reserve sizes the edge log up front). A second, lazily
-// derived CSR holds the sorted-deduplicated adjacency the simulator's
-// membership checks use. Mutation must be externally synchronized;
+// A Graph is built incrementally (New + AddEdge append to a chunked
+// edge log) and read through a CSR (compressed sparse row) view: one
+// offsets array and one targets array backing every adjacency list,
+// finalized lazily by a streamed two-pass degree-count/fill step on
+// first read after a mutation. The edge log is a sequence of
+// bounded-size chunks rather than one flat slice, so growth never
+// copies: peak build memory is O(m) with no append-doubling spikes, and
+// a reserved build (Reserve up front) carves exactly ceil(m/chunk)
+// chunk allocations. Per-vertex adjacency is a slice into a single
+// backing array — no per-vertex allocations, cache-friendly traversal.
+// Vertex ids and arc offsets are int32 (MaxVertices/MaxEdges); builds
+// that would exceed them fail with a typed *OverflowError. A second,
+// lazily derived CSR holds the sorted-deduplicated adjacency the
+// simulator's membership checks use. Mutation must be externally
+// synchronized;
 // concurrent reads of a finalized graph are safe (lazy views build under
 // a mutex and publish through atomics), which is what lets the
 // experiment driver's substrate cache share one immutable graph across
@@ -38,13 +43,60 @@ import (
 	"sync/atomic"
 )
 
+// CSR capacity limits: vertex ids live in int32 edge-log entries and
+// CSR targets, and CSR offsets index arcs (two per undirected edge)
+// with int32.
+const (
+	// MaxVertices is the largest vertex count a Graph supports.
+	MaxVertices = 1<<31 - 1
+	// MaxEdges is the largest edge count a Graph supports: each edge
+	// stores two int32 arc entries, so offsets overflow past this.
+	MaxEdges = (1<<31 - 1) / 2
+)
+
+// OverflowError reports a construction that would exceed the CSR's
+// int32 limits. Generators return it from their edge-budget precheck;
+// AddEdge and New panic with it when a hand-driven build crosses the
+// limit (the same contract as their range panics).
+type OverflowError struct {
+	What  string // "vertices" or "edges"
+	Count int    // requested count
+	Limit int    // the exceeded limit
+}
+
+func (e *OverflowError) Error() string {
+	return fmt.Sprintf("graph: %d %s exceed the CSR int32 limit of %d", e.Count, e.What, e.Limit)
+}
+
+// CheckEdgeBudget returns a typed *OverflowError when an intended build
+// of `edges` edges would overflow the CSR's int32 arc offsets, nil
+// otherwise. Generators call it before allocating anything, so the
+// error path costs no memory.
+func CheckEdgeBudget(edges int) error {
+	if edges < 0 || edges > MaxEdges {
+		return &OverflowError{What: "edges", Count: edges, Limit: MaxEdges}
+	}
+	return nil
+}
+
+// edgeChunkEdges bounds one edge-log chunk (64Ki edges = 512KiB per
+// chunk): large enough that chunk bookkeeping vanishes in build cost,
+// small enough that carving never triggers huge-object copies.
+const edgeChunkEdges = 1 << 16
+
 // Graph is an undirected multigraph over vertices 0..n-1. The zero value is
 // an empty graph with no vertices; use New to create a graph with vertices.
 type Graph struct {
-	n   int
-	m   int     // number of undirected edges (each parallel edge counted once)
-	eu  []int32 // edge log: endpoint pairs in insertion order
-	ev  []int32
+	n int
+	m int // number of undirected edges (each parallel edge counted once)
+
+	// log is the chunked edge log: (u,v) endpoint pairs interleaved in
+	// insertion order, split across bounded-size chunks so growth
+	// appends a chunk instead of copying the whole log.
+	log      [][]int32
+	capEdges int // total edge capacity carved across chunks
+	reserved int // Reserve hint: total edge capacity to aim for
+
 	deg []int32 // running degree per vertex (a self-loop contributes 2)
 
 	// csr is the finalized adjacency view, rebuilt on first read after a
@@ -80,21 +132,39 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
+	if n > MaxVertices {
+		panic(&OverflowError{What: "vertices", Count: n, Limit: MaxVertices})
+	}
 	return &Graph{n: n, deg: make([]int32, n)}
 }
 
-// Reserve pre-sizes the edge log for at least `edges` AddEdge calls, so a
-// generator that knows its edge count builds with a constant number of
-// allocations.
+// Reserve records a capacity hint for the chunked edge log: subsequent
+// AddEdge calls carve chunks sized toward `edges` total capacity (each
+// bounded by edgeChunkEdges), so a generator that knows its edge count
+// builds with ceil(edges/chunk) exact-size allocations and never copies.
 func (g *Graph) Reserve(edges int) {
-	if cap(g.eu) < edges {
-		eu := make([]int32, len(g.eu), edges)
-		copy(eu, g.eu)
-		g.eu = eu
-		ev := make([]int32, len(g.ev), edges)
-		copy(ev, g.ev)
-		g.ev = ev
+	if edges > g.reserved {
+		g.reserved = edges
 	}
+}
+
+// nextChunkEdges sizes the next edge-log chunk: the remaining reserved
+// capacity when a hint is outstanding, else geometric growth (match the
+// edges logged so far), clamped to [64, edgeChunkEdges]. Either way no
+// existing chunk is ever copied, so an unreserved build costs
+// O(log m + m/chunk) allocations instead of doubling copies.
+func (g *Graph) nextChunkEdges() int {
+	want := g.reserved - g.capEdges
+	if want < g.m {
+		want = g.m
+	}
+	if want < 64 {
+		want = 64
+	}
+	if want > edgeChunkEdges {
+		want = edgeChunkEdges
+	}
+	return want
 }
 
 // N returns the number of vertices.
@@ -105,12 +175,22 @@ func (g *Graph) M() int { return g.m }
 
 // AddEdge adds an undirected edge between u and v. Parallel edges and
 // self-loops are allowed; a self-loop contributes 2 to the degree of u.
-// It panics if either endpoint is out of range.
+// It panics if either endpoint is out of range, or with a typed
+// *OverflowError if the edge would exceed MaxEdges.
 func (g *Graph) AddEdge(u, v int) {
 	g.check(u)
 	g.check(v)
-	g.eu = append(g.eu, int32(u))
-	g.ev = append(g.ev, int32(v))
+	if g.m >= MaxEdges {
+		panic(&OverflowError{What: "edges", Count: g.m + 1, Limit: MaxEdges})
+	}
+	last := len(g.log) - 1
+	if last < 0 || len(g.log[last]) == cap(g.log[last]) {
+		size := g.nextChunkEdges()
+		g.log = append(g.log, make([]int32, 0, 2*size))
+		g.capEdges += size
+		last++
+	}
+	g.log[last] = append(g.log[last], int32(u), int32(v))
 	g.deg[u]++
 	g.deg[v]++
 	g.m++
@@ -124,11 +204,13 @@ func (g *Graph) check(u int) {
 }
 
 // view returns the finalized CSR, building it if the edge log changed.
-// The two-pass build (degree prefix-sum, then arc fill in edge-log order)
-// reproduces exactly the per-vertex append order the seed-era
-// slice-of-slices representation had: for each logged edge (u,v), u gains
-// arc v and then v gains arc u, so a self-loop contributes two
-// consecutive arcs.
+// The streamed two-pass build (degree prefix-sum, then an arc fill that
+// replays the chunked log in insertion order) reproduces exactly the
+// per-vertex append order the seed-era slice-of-slices representation
+// had: for each logged edge (u,v), u gains arc v and then v gains arc
+// u, so a self-loop contributes two consecutive arcs. Peak memory
+// during finalize is the log (chunked, O(m)) plus the two output
+// arrays — no intermediate copies.
 func (g *Graph) view() *csrView {
 	if v := g.csr.Load(); v != nil {
 		return v
@@ -141,7 +223,7 @@ func (g *Graph) view() *csrView {
 	n := g.n
 	v := &csrView{
 		off: make([]int32, n+1),
-		tgt: make([]int32, 2*len(g.eu)),
+		tgt: make([]int32, 2*g.m),
 	}
 	// Pass 1: offsets from the running degrees.
 	for u := 0; u < n; u++ {
@@ -150,12 +232,14 @@ func (g *Graph) view() *csrView {
 	// Pass 2: fill, using off[u] as vertex u's write cursor; afterwards
 	// off[u] holds end(u) == start(u+1), so one backward shift restores
 	// the offsets without a separate cursor array.
-	for i, u := range g.eu {
-		w := g.ev[i]
-		v.tgt[v.off[u]] = w
-		v.off[u]++
-		v.tgt[v.off[w]] = u
-		v.off[w]++
+	for _, ch := range g.log {
+		for i := 0; i < len(ch); i += 2 {
+			u, w := ch[i], ch[i+1]
+			v.tgt[v.off[u]] = w
+			v.off[u]++
+			v.tgt[v.off[w]] = u
+			v.off[w]++
+		}
 	}
 	for u := n; u > 0; u-- {
 		v.off[u] = v.off[u-1]
@@ -370,8 +454,12 @@ func (g *Graph) IsSimple() bool {
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)
 	c.m = g.m
-	c.eu = append([]int32(nil), g.eu...)
-	c.ev = append([]int32(nil), g.ev...)
+	c.reserved = g.reserved
+	c.log = make([][]int32, len(g.log))
+	for i, ch := range g.log {
+		c.log[i] = append([]int32(nil), ch...)
+		c.capEdges += len(ch) / 2
+	}
 	copy(c.deg, g.deg)
 	return c
 }
@@ -383,13 +471,17 @@ func (g *Graph) Clone() *Graph {
 // (The seed-era asymmetric-adjacency check is structural now: both arc
 // directions derive from one edge-log entry, so they cannot disagree.)
 func (g *Graph) Validate() error {
-	for i, u := range g.eu {
-		if u < 0 || int(u) >= g.n {
-			return fmt.Errorf("graph: edge %d has out-of-range endpoint %d", i, u)
-		}
-		w := g.ev[i]
-		if w < 0 || int(w) >= g.n {
-			return fmt.Errorf("graph: edge %d has out-of-range endpoint %d", i, w)
+	i := 0
+	for _, ch := range g.log {
+		for p := 0; p < len(ch); p += 2 {
+			u, w := ch[p], ch[p+1]
+			if u < 0 || int(u) >= g.n {
+				return fmt.Errorf("graph: edge %d has out-of-range endpoint %d", i, u)
+			}
+			if w < 0 || int(w) >= g.n {
+				return fmt.Errorf("graph: edge %d has out-of-range endpoint %d", i, w)
+			}
+			i++
 		}
 	}
 	// Recompute per-vertex degrees from the edge log and compare
@@ -397,9 +489,11 @@ func (g *Graph) Validate() error {
 	// per-vertex skew (even one that preserves the total) would corrupt
 	// the view silently.
 	want := make([]int32, g.n)
-	for i, u := range g.eu {
-		want[u]++
-		want[g.ev[i]]++
+	for _, ch := range g.log {
+		for p := 0; p < len(ch); p += 2 {
+			want[ch[p]]++
+			want[ch[p+1]]++
+		}
 	}
 	for u, d := range g.deg {
 		if d != want[u] {
@@ -423,12 +517,14 @@ func (g *Graph) Vertices() []int {
 // sorted lexicographically. Parallel edges appear once per multiplicity.
 func (g *Graph) EdgeList() [][2]int {
 	edges := make([][2]int, 0, g.m)
-	for i, u := range g.eu {
-		v := g.ev[i]
-		if u <= v {
-			edges = append(edges, [2]int{int(u), int(v)})
-		} else {
-			edges = append(edges, [2]int{int(v), int(u)})
+	for _, ch := range g.log {
+		for i := 0; i < len(ch); i += 2 {
+			u, v := ch[i], ch[i+1]
+			if u <= v {
+				edges = append(edges, [2]int{int(u), int(v)})
+			} else {
+				edges = append(edges, [2]int{int(v), int(u)})
+			}
 		}
 	}
 	sort.Slice(edges, func(i, j int) bool {

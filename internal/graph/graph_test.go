@@ -133,7 +133,7 @@ func TestValidate(t *testing.T) {
 	}
 	bad2 := New(2)
 	bad2.AddEdge(0, 1)
-	bad2.ev[0] = 7 // out-of-range endpoint
+	bad2.log[0][1] = 7 // out-of-range endpoint
 	if err := bad2.Validate(); err == nil {
 		t.Error("out-of-range neighbor accepted")
 	}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"byzcount/internal/xrand"
+)
+
+// rowEqual compares an implicit AppendNeighbors row against a CSR row.
+func rowEqual(got []int, want []int32) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i, w := range want {
+		if got[i] != int(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRingLatticeRowsByteIdentical pins the implicit ring lattice to
+// the materialized generators: every vertex's AppendNeighbors output
+// must equal, element for element and in order, the CSR row of (a) its
+// own Materialize, (b) WattsStrogatz(n, k, 0) — the unrewired lattice —
+// and (c) graph.Ring for k=1. This is the contract that lets the
+// simulator swap an implicit lattice for a materialized one without
+// perturbing a single message.
+func TestRingLatticeRowsByteIdentical(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{3, 1}, {4, 1}, {5, 1}, {5, 2}, {8, 3}, {64, 1}, {64, 4},
+		{97, 8}, {128, 17}, {1000, 4}, {1001, 5},
+	}
+	for _, tc := range cases {
+		lat, err := NewRingLattice(tc.n, tc.k)
+		if err != nil {
+			t.Fatalf("NewRingLattice(%d,%d): %v", tc.n, tc.k, err)
+		}
+		mat, err := lat.Materialize()
+		if err != nil {
+			t.Fatalf("Materialize(%d,%d): %v", tc.n, tc.k, err)
+		}
+		ws, err := WattsStrogatz(tc.n, tc.k, 0, xrand.New(1))
+		if err != nil {
+			t.Fatalf("WattsStrogatz(%d,%d,0): %v", tc.n, tc.k, err)
+		}
+		var ring *Graph
+		if tc.k == 1 {
+			ring, err = Ring(tc.n)
+			if err != nil {
+				t.Fatalf("Ring(%d): %v", tc.n, err)
+			}
+		}
+		if lat.N() != tc.n || lat.M() != tc.n*tc.k || lat.Slots() != tc.n {
+			t.Fatalf("(%d,%d): N=%d M=%d Slots=%d", tc.n, tc.k, lat.N(), lat.M(), lat.Slots())
+		}
+		buf := make([]int, 0, 2*tc.k)
+		for v := 0; v < tc.n; v++ {
+			row := lat.AppendNeighbors(v, buf[:0])
+			if !rowEqual(row, mat.Adj(v)) {
+				t.Fatalf("(%d,%d) v=%d: implicit %v != materialized %v", tc.n, tc.k, v, row, mat.Adj(v))
+			}
+			if !rowEqual(row, ws.Adj(v)) {
+				t.Fatalf("(%d,%d) v=%d: implicit %v != WattsStrogatz %v", tc.n, tc.k, v, row, ws.Adj(v))
+			}
+			if ring != nil && !rowEqual(row, ring.Adj(v)) {
+				t.Fatalf("(%d,%d) v=%d: implicit %v != Ring %v", tc.n, tc.k, v, row, ring.Adj(v))
+			}
+			if lat.Degree(v) != len(row) || mat.Degree(v) != len(row) {
+				t.Fatalf("(%d,%d) v=%d: degree %d row len %d", tc.n, tc.k, v, lat.Degree(v), len(row))
+			}
+			if !lat.Alive(v) || lat.EpochOf(v) != 0 {
+				t.Fatalf("(%d,%d) v=%d: alive/epoch broken", tc.n, tc.k, v)
+			}
+		}
+	}
+}
+
+// TestTorusGridRowsByteIdentical pins the implicit torus to graph.Torus
+// row for row across square and skewed shapes.
+func TestTorusGridRowsByteIdentical(t *testing.T) {
+	cases := []struct{ rows, cols int }{
+		{3, 3}, {3, 5}, {5, 3}, {4, 4}, {8, 8}, {10, 32}, {31, 17},
+	}
+	for _, tc := range cases {
+		grid, err := NewTorusGrid(tc.rows, tc.cols)
+		if err != nil {
+			t.Fatalf("NewTorusGrid(%d,%d): %v", tc.rows, tc.cols, err)
+		}
+		mat, err := Torus(tc.rows, tc.cols)
+		if err != nil {
+			t.Fatalf("Torus(%d,%d): %v", tc.rows, tc.cols, err)
+		}
+		if grid.N() != tc.rows*tc.cols || grid.M() != 2*tc.rows*tc.cols {
+			t.Fatalf("(%dx%d): N=%d M=%d", tc.rows, tc.cols, grid.N(), grid.M())
+		}
+		mat2, err := grid.Materialize()
+		if err != nil {
+			t.Fatalf("Materialize(%dx%d): %v", tc.rows, tc.cols, err)
+		}
+		var buf [8]int
+		for v := 0; v < grid.N(); v++ {
+			row := grid.AppendNeighbors(v, buf[:0])
+			if !rowEqual(row, mat.Adj(v)) {
+				t.Fatalf("(%dx%d) v=%d: implicit %v != Torus %v", tc.rows, tc.cols, v, row, mat.Adj(v))
+			}
+			if !rowEqual(row, mat2.Adj(v)) {
+				t.Fatalf("(%dx%d) v=%d: implicit %v != Materialize %v", tc.rows, tc.cols, v, row, mat2.Adj(v))
+			}
+			if grid.Degree(v) != 4 {
+				t.Fatalf("(%dx%d) v=%d: degree %d", tc.rows, tc.cols, v, grid.Degree(v))
+			}
+		}
+	}
+}
+
+// TestImplicitParamValidation exercises the constructor error paths,
+// which mirror the materialized generators' domains.
+func TestImplicitParamValidation(t *testing.T) {
+	if _, err := NewRingLattice(2, 1); err == nil {
+		t.Error("RingLattice n=2 accepted")
+	}
+	if _, err := NewRingLattice(8, 0); err == nil {
+		t.Error("RingLattice k=0 accepted")
+	}
+	if _, err := NewRingLattice(8, 4); err == nil {
+		t.Error("RingLattice 2k=n accepted")
+	}
+	if _, err := NewTorusGrid(2, 5); err == nil {
+		t.Error("TorusGrid rows=2 accepted")
+	}
+	if _, err := NewTorusGrid(5, 2); err == nil {
+		t.Error("TorusGrid cols=2 accepted")
+	}
+	var of *OverflowError
+	if _, err := NewRingLattice(MaxVertices, 2); !errors.As(err, &of) {
+		t.Errorf("RingLattice over edge budget: err=%v, want *OverflowError", err)
+	}
+}

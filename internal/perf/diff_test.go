@@ -1,0 +1,142 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkRecord(pairs ...any) *Record {
+	r := &Record{Schema: Schema}
+	for i := 0; i < len(pairs); i += 2 {
+		r.Results = append(r.Results, Result{
+			Name:    pairs[i].(string),
+			NsPerOp: pairs[i+1].(float64),
+		})
+	}
+	return r
+}
+
+func TestDiffRecords(t *testing.T) {
+	old := mkRecord("a", 100.0, "b", 200.0, "gone", 50.0)
+	cur := mkRecord("a", 110.0, "b", 900.0, "new", 75.0)
+	rep := DiffRecords(old, cur, 0.5)
+	if len(rep.Common) != 2 {
+		t.Fatalf("common = %v, want a and b", rep.Common)
+	}
+	if rep.Common[0].Name != "a" || rep.Common[1].Name != "b" {
+		t.Fatalf("common order = %v, want name-sorted", rep.Common)
+	}
+	if got := rep.Common[0].Ratio; got != 1.1 {
+		t.Errorf("a ratio = %v, want 1.1", got)
+	}
+	if rep.Common[0].Regressed(0.5) {
+		t.Errorf("a (1.10x) flagged as regression at tolerance 0.5")
+	}
+	if !rep.Common[1].Regressed(0.5) {
+		t.Errorf("b (4.50x) not flagged as regression at tolerance 0.5")
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Name != "b" {
+		t.Errorf("Regressions() = %v, want just b", regs)
+	}
+	if len(rep.Added) != 1 || rep.Added[0] != "new" {
+		t.Errorf("Added = %v, want [new]", rep.Added)
+	}
+	if len(rep.Removed) != 1 || rep.Removed[0] != "gone" {
+		t.Errorf("Removed = %v, want [gone]", rep.Removed)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "REGRESSED") {
+		t.Errorf("Render() lacks the REGRESSED flag:\n%s", out)
+	}
+	if !strings.Contains(out, "(added)") || !strings.Contains(out, "(removed)") {
+		t.Errorf("Render() lacks added/removed lines:\n%s", out)
+	}
+}
+
+func TestDiffRegressionsSortedWorstFirst(t *testing.T) {
+	old := mkRecord("a", 100.0, "b", 100.0)
+	cur := mkRecord("a", 300.0, "b", 1000.0)
+	regs := DiffRecords(old, cur, 0.1).Regressions()
+	if len(regs) != 2 || regs[0].Name != "b" || regs[1].Name != "a" {
+		t.Fatalf("Regressions() = %v, want b (10x) before a (3x)", regs)
+	}
+}
+
+func TestDiffZeroOldNs(t *testing.T) {
+	// A zero old ns/op (corrupt or hand-written record) must not flag
+	// or divide by zero.
+	rep := DiffRecords(mkRecord("a", 0.0), mkRecord("a", 100.0), 0.5)
+	if rep.Common[0].Ratio != 0 || rep.Common[0].Regressed(0.5) {
+		t.Errorf("zero-old entry = %+v, want ratio 0, not regressed", rep.Common[0])
+	}
+}
+
+func TestDiffFiles(t *testing.T) {
+	dir := t.TempDir()
+	old := mkRecord("a", 100.0)
+	cur := mkRecord("a", 120.0)
+	oldPath := dir + "/old.json"
+	newPath := dir + "/new.json"
+	if err := old.WriteFile(oldPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.WriteFile(newPath); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Diff(oldPath, newPath, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Common) != 1 || rep.Common[0].Ratio != 1.2 {
+		t.Fatalf("Diff() = %+v, want one 1.2x entry", rep.Common)
+	}
+	if _, err := Diff(oldPath, dir+"/missing.json", 0.5); err == nil {
+		t.Error("Diff() with a missing file succeeded")
+	}
+}
+
+func TestScalingSuiteShape(t *testing.T) {
+	quick := ScalingSuite(ScalingConfig{Quick: true})
+	if want := len(ScalingSizes(true)) * len(ScalingWorkers); len(quick) != want {
+		t.Fatalf("quick suite has %d cells, want %d", len(quick), want)
+	}
+	for _, n := range ScalingSizes(true) {
+		for _, w := range ScalingWorkers {
+			name := ScalingName(n, w)
+			found := false
+			for _, b := range quick {
+				if b.Name == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("quick suite missing %s", name)
+			}
+		}
+	}
+	full := ScalingSuite(ScalingConfig{})
+	if len(full) <= len(quick) {
+		t.Errorf("full suite (%d cells) not larger than quick (%d)", len(full), len(quick))
+	}
+	filtered := ScalingSuite(ScalingConfig{Quick: true, Filter: "workers=8"})
+	if want := len(ScalingSizes(true)); len(filtered) != want {
+		t.Errorf("workers=8 filter kept %d cells, want %d", len(filtered), want)
+	}
+}
+
+func TestScalingCellMeasures(t *testing.T) {
+	// One tiny cell end-to-end through Measure: the implicit-lattice
+	// flood workload must report both rate metrics.
+	b := scalingBenchmark(1000, 2, 0)
+	b.MinTime = 1
+	b.Warmup = 1
+	res, err := b.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["msgs_per_sec"] <= 0 || res.Metrics["rounds_per_sec"] <= 0 {
+		t.Errorf("scaling cell metrics = %v, want positive rates", res.Metrics)
+	}
+}

@@ -70,6 +70,57 @@ type Topology interface {
 // only increment, so they never collide with it.
 const staleEpoch = ^uint64(0)
 
+// TopologyDegrees is the optional Topology extension that serves as the
+// engine's slab capacity hint: when a topology can report per-slot
+// degrees up front (static implicit families always can),
+// NewTopologyEngine pre-carves every Env's Neighbors/NeighborIDs and
+// the sorted-adjacency buffer out of bounded slab chunks. The first
+// lazy resolve of each vertex then appends into its carved buffer
+// instead of growing a nil slice, so a million-slot engine's first
+// round costs O(slots/chunk) slab allocations instead of three
+// per-vertex allocations each.
+type TopologyDegrees interface {
+	// Degree reports slot v's current neighbor-multiset size.
+	Degree(v int) int
+}
+
+// slabChunkEntries bounds one slab chunk (2MiB for []int): big enough
+// that chunk turnover vanishes in construction cost, small enough that
+// million-slot engines never demand one giant contiguous block or pay
+// append-doubling copies.
+const slabChunkEntries = 1 << 18
+
+// slab carves exact-capacity slices out of bounded chunks. Each carve
+// is a three-index sub-slice (its own capacity limit, so a later append
+// past the carved degree safely migrates that slice instead of
+// clobbering its neighbor), chunks are never grown or copied, and
+// at most one carve's worth of tail waste is abandoned per chunk.
+type slab[T any] struct {
+	cur       []T
+	remaining int // entries still expected; sizes the next chunk
+}
+
+func newSlab[T any](total int) *slab[T] { return &slab[T]{remaining: total} }
+
+// carve returns a zero-length slice with capacity exactly n, backed by
+// the current chunk (a fresh chunk is carved when n does not fit).
+func (s *slab[T]) carve(n int) []T {
+	if len(s.cur)+n > cap(s.cur) {
+		size := s.remaining
+		if size > slabChunkEntries {
+			size = slabChunkEntries
+		}
+		if size < n {
+			size = n // single carve larger than the chunk bound
+		}
+		s.cur = make([]T, 0, size)
+	}
+	lo := len(s.cur)
+	s.cur = s.cur[:lo+n]
+	s.remaining -= n
+	return s.cur[lo : lo : lo+n]
+}
+
 // Payload is the interface satisfied by all message payloads. SizeBits
 // reports the payload's size for the message-size metrics that distinguish
 // the CONGEST-style algorithm (small messages) from the LOCAL one.
@@ -106,7 +157,15 @@ type Env struct {
 	// starts from the inclusive 1-hop neighborhood B(u,1), so knowledge of
 	// neighbor IDs is part of the model.
 	NeighborIDs []NodeID
-	Rand        *xrand.Rand
+
+	// rand is the slot's private stream, derived lazily by Rand(); root
+	// is the engine stream it derives from. A stream's state is ~5KiB
+	// (the stdlib source), so slots whose processes never draw — flood
+	// workloads, vacant slots, adversaries — must not pay for one; at a
+	// million slots eager derivation would dominate the engine's entire
+	// footprint.
+	rand *xrand.Rand
+	root *xrand.Rand
 
 	// scratch is the env's reusable outgoing buffer. Each vertex is
 	// stepped by exactly one goroutine per round, and the engine consumes
@@ -115,6 +174,26 @@ type Env struct {
 	// engine adopts the returned slice back into scratch (keeping any
 	// growth), which is what makes steady-state sending allocation-free.
 	scratch []Outgoing
+}
+
+// Rand returns the slot's private random stream, deriving it from the
+// engine seed on first use. The stream is a pure function of
+// (engine seed, vertex) — when it is created changes nothing about what
+// it draws — and it persists across membership turnover: a joiner
+// recycling the slot continues the stream where the leaver left it.
+func (e *Env) Rand() *xrand.Rand {
+	if e.rand == nil {
+		e.rand = e.root.SplitN("node", e.Vertex)
+	}
+	return e.rand
+}
+
+// WithRand returns a copy of the env using rng as its private stream —
+// the constructor for standalone envs in tests and examples. Engine
+// slots derive their stream from the engine seed instead.
+func (e Env) WithRand(rng *xrand.Rand) *Env {
+	e.rand = rng
+	return &e
 }
 
 // Scratch returns the env's reusable outgoing buffer truncated to zero
@@ -347,13 +426,15 @@ var ErrSizeMismatch = errors.New("sim: process count does not match vertex count
 // independent of all others.
 //
 // Construction ingests the graph's CSR arrays directly: every Env's
-// Neighbors and NeighborIDs slices are carved out of two engine-owned
-// slabs sized to the total arc count (two allocations instead of the 2n
-// per-vertex copies the seed code made), and the sorted-deduplicated
-// adjacency used by the membership stamps aliases the graph's shared
-// sorted CSR — no per-vertex sorting. Static engines never mutate those
-// rows, so aliasing an immutable (possibly cache-shared) graph is safe;
-// topology engines re-resolve into private buffers instead.
+// Neighbors and NeighborIDs slices are carved out of engine-owned
+// bounded slab chunks sized to the total arc count (O(arcs/chunk)
+// exact-size allocations — no per-vertex copies and no append-doubling
+// spikes, so a million-slot engine's tables build without transient 2×
+// peaks), and the sorted-deduplicated adjacency used by the membership
+// stamps aliases the graph's shared sorted CSR — no per-vertex sorting.
+// Static engines never mutate those rows, so aliasing an immutable
+// (possibly cache-shared) graph is safe; topology engines re-resolve
+// into private buffers instead.
 func NewEngine(g *graph.Graph, seed uint64) *Engine {
 	e := newEngine(g.N(), seed)
 	e.g = g
@@ -364,20 +445,21 @@ func NewEngine(g *graph.Graph, seed uint64) *Engine {
 	for v := 0; v < e.n; v++ {
 		arcs += g.Degree(v)
 	}
-	nbrSlab := make([]int, 0, arcs)
-	idSlab := make([]NodeID, 0, arcs)
+	nbrSlab := newSlab[int](arcs)
+	idSlab := newSlab[NodeID](arcs)
 	for v := 0; v < e.n; v++ {
 		adj := g.Adj(v)
-		lo := len(nbrSlab)
+		nbrs := nbrSlab.carve(len(adj))
+		ids := idSlab.carve(len(adj))
 		for _, w := range adj {
-			nbrSlab = append(nbrSlab, int(w))
-			idSlab = append(idSlab, e.ids[w])
+			nbrs = append(nbrs, int(w))
+			ids = append(ids, e.ids[w])
 		}
 		e.sortedAdj[v] = g.SortedAdj(v)
 		e.envs[v].ID = e.ids[v]
 		e.envs[v].Degree = len(adj)
-		e.envs[v].Neighbors = nbrSlab[lo:len(nbrSlab):len(nbrSlab)]
-		e.envs[v].NeighborIDs = idSlab[lo:len(idSlab):len(idSlab)]
+		e.envs[v].Neighbors = nbrs
+		e.envs[v].NeighborIDs = ids
 	}
 	return e
 }
@@ -388,6 +470,15 @@ func NewEngine(g *graph.Graph, seed uint64) *Engine {
 // (and a process) only when a joiner arrives via AttachAt. Neighborhoods
 // are resolved lazily against the topology's epoch, so construction does
 // not walk adjacency at all.
+//
+// When the topology also implements TopologyDegrees, its degrees serve
+// as slab budgets: every Env's Neighbors/NeighborIDs and the
+// sorted-adjacency buffer are pre-carved at exact degree capacity out
+// of bounded chunks, so the lazy resolves append in place instead of
+// growing nil slices — the difference between O(slots/chunk) and three
+// allocations per slot on a million-slot first round. Degrees are a
+// hint, not a contract: a slot that later outgrows its carve migrates
+// to a private buffer on append, so mutable topologies stay correct.
 func NewTopologyEngine(topo Topology, seed uint64) *Engine {
 	e := newEngine(topo.Slots(), seed)
 	e.topo = topo
@@ -397,6 +488,21 @@ func NewTopologyEngine(topo Topology, seed uint64) *Engine {
 		if topo.Alive(v) {
 			e.assignID(v)
 			e.envs[v].ID = e.ids[v]
+		}
+	}
+	if dg, ok := topo.(TopologyDegrees); ok {
+		arcs := 0
+		for v := 0; v < e.n; v++ {
+			arcs += dg.Degree(v)
+		}
+		nbrSlab := newSlab[int](arcs)
+		idSlab := newSlab[NodeID](arcs)
+		saSlab := newSlab[int32](arcs)
+		for v := 0; v < e.n; v++ {
+			d := dg.Degree(v)
+			e.envs[v].Neighbors = nbrSlab.carve(d)
+			e.envs[v].NeighborIDs = idSlab.carve(d)
+			e.sortedAdj[v] = saSlab.carve(d)
 		}
 	}
 	return e
@@ -422,7 +528,7 @@ func newEngine(n int, seed uint64) *Engine {
 	}
 	e.metrics.PerNodeMaxBit = make([]int, n)
 	for v := 0; v < n; v++ {
-		e.envs[v] = Env{Vertex: v, Rand: root.SplitN("node", v)}
+		e.envs[v] = Env{Vertex: v, root: root}
 	}
 	return e
 }
@@ -538,9 +644,6 @@ func (e *Engine) AttachAt(v int, id NodeID, p Proc) error {
 	e.vertexOf[id] = v
 	env := &e.envs[v]
 	env.ID = id
-	if env.Rand == nil {
-		env.Rand = e.root.SplitN("node", v)
-	}
 	e.cur[v] = e.cur[v][:0]
 	e.next[v] = e.next[v][:0]
 	e.procs[v] = p
@@ -605,7 +708,7 @@ func (e *Engine) growTo(m int) {
 	for v := e.n; v < m; v++ {
 		e.procs = append(e.procs, nil)
 		e.ids = append(e.ids, 0)
-		e.envs = append(e.envs, Env{Vertex: v})
+		e.envs = append(e.envs, Env{Vertex: v, root: e.root})
 		e.cur = append(e.cur, nil)
 		e.next = append(e.next, nil)
 		e.sortedAdj = append(e.sortedAdj, nil)

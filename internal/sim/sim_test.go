@@ -380,12 +380,12 @@ func TestEnvNodeRandIndependent(t *testing.T) {
 	e1 := NewEngine(g, 5)
 	e2 := NewEngine(g, 5)
 	// Same engine seed: per-node streams identical across engines...
-	if e1.Env(2).Rand.Uint64() != e2.Env(2).Rand.Uint64() {
+	if e1.Env(2).Rand().Uint64() != e2.Env(2).Rand().Uint64() {
 		t.Error("per-node streams not reproducible")
 	}
 	// ...and distinct across nodes.
-	if e1.Env(0).Rand.Uint64() == e1.Env(1).Rand.Uint64() {
-		if e1.Env(0).Rand.Uint64() == e1.Env(1).Rand.Uint64() {
+	if e1.Env(0).Rand().Uint64() == e1.Env(1).Rand().Uint64() {
+		if e1.Env(0).Rand().Uint64() == e1.Env(1).Rand().Uint64() {
 			t.Error("node streams identical")
 		}
 	}

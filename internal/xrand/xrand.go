@@ -75,9 +75,14 @@ func (r *Rand) splitSeed(label string) uint64 {
 }
 
 // SplitN derives an independent sub-stream identified by label and index,
-// e.g. one stream per trial or per node.
+// e.g. one stream per trial or per node. It produces exactly the stream
+// Split(label).Split(itoa(n)) would, but derives the child seed with
+// pure arithmetic instead of materializing the intermediate labelled
+// stream — one source allocation per call, not two, which matters when
+// an engine derives a stream per node.
 func (r *Rand) SplitN(label string, n int) *Rand {
-	return r.Split(label).Split(itoa(n))
+	mid := Rand{seed: r.splitSeed(label)}
+	return New(mid.splitSeed(itoa(n)))
 }
 
 // mix is the SplitMix64 finalizer; it decorrelates nearby seeds.

@@ -71,6 +71,30 @@ func TestSplitNDistinct(t *testing.T) {
 	}
 }
 
+// TestSplitNMatchesNestedSplit pins SplitN's pure seed derivation to
+// its definition: every (label, n) stream must be byte-identical to
+// Split(label).Split(itoa(n)). All golden tables stand on this — SplitN
+// skips materializing the intermediate stream, and the shortcut must
+// never drift from the nested form.
+func TestSplitNMatchesNestedSplit(t *testing.T) {
+	root := New(42)
+	for _, label := range []string{"node", "trial", ""} {
+		for _, n := range []int{0, 1, 7, -3, 1_000_000} {
+			fast := root.SplitN(label, n)
+			slow := root.Split(label).Split(itoa(n))
+			if fast.Seed() != slow.Seed() {
+				t.Fatalf("SplitN(%q, %d) seed %d != nested split seed %d",
+					label, n, fast.Seed(), slow.Seed())
+			}
+			for i := 0; i < 8; i++ {
+				if f, s := fast.Uint64(), slow.Uint64(); f != s {
+					t.Fatalf("SplitN(%q, %d) draw %d: %d != %d", label, n, i, f, s)
+				}
+			}
+		}
+	}
+}
+
 func TestBernoulliEdgeCases(t *testing.T) {
 	r := New(1)
 	for i := 0; i < 100; i++ {
