@@ -262,6 +262,38 @@ func BenchmarkEngineRoundThroughputParallel8(b *testing.B) {
 	benchEngineRoundThroughput(b, 8)
 }
 
+// benchVTFloodThroughput times the flood workload on the virtual-time
+// scheduler (perf.NewVTFloodEngine — BENCH.json's engine/vt-flood/*):
+// every message takes a per-edge latency draw and rides the calendar
+// ring to its delivery round. "unit" is the degenerate synchronous
+// configuration (the price of the event queue alone, bit-identical
+// transcripts to the legacy path); "uniform:1-4" spreads each round's
+// sends over a four-round window, the real reordering case. Allocs/op
+// reports the steady state: 0, pinned by TestSteadyStateAllocsVT*.
+func benchVTFloodThroughput(b *testing.B, workers int, delaySpec string) {
+	eng, err := perf.NewVTFloodEngine(1024, 8, workers, delaySpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRoundThroughput(b, eng)
+}
+
+func BenchmarkEngineVTUnitRoundThroughput(b *testing.B) {
+	benchVTFloodThroughput(b, 1, "unit")
+}
+
+func BenchmarkEngineVTJitterRoundThroughput(b *testing.B) {
+	benchVTFloodThroughput(b, 1, "uniform:1-4")
+}
+
+// BenchmarkEngineVTJitterRoundThroughputParallel8: jittered delivery on
+// the sharded engine — workers bucket (destination shard, ring slot)
+// pairs locally and the coordinator merges them in sender order, so the
+// execution is bit-identical to the serial run.
+func BenchmarkEngineVTJitterRoundThroughputParallel8(b *testing.B) {
+	benchVTFloodThroughput(b, 8, "uniform:1-4")
+}
+
 // benchEngineChurnThroughput times the churn flood workload
 // (perf.NewChurnFloodEngine — the same workload BENCH.json records as
 // engine/churn-flood/*): every round two nodes leave, two join, the
@@ -343,7 +375,7 @@ func BenchmarkImplicitEngineConstruction(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sim.NewTopologyEngine(lat, 7)
+		sim.New(lat, sim.WithSeed(7))
 	}
 }
 
@@ -356,7 +388,7 @@ func BenchmarkCongestBenignRun(b *testing.B) {
 	params := counting.DefaultCongestParams(8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng := sim.NewEngine(g, uint64(i))
+		eng := sim.New(g, sim.WithSeed(uint64(i)))
 		procs := make([]sim.Proc, g.N())
 		for v := range procs {
 			procs[v] = counting.NewCongestProc(params)
@@ -379,7 +411,7 @@ func BenchmarkLocalBenignRun(b *testing.B) {
 	params := counting.DefaultLocalParams(8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng := sim.NewEngine(g, uint64(i))
+		eng := sim.New(g, sim.WithSeed(uint64(i)))
 		procs := make([]sim.Proc, g.N())
 		for v := range procs {
 			procs[v] = counting.NewLocalProc(params)

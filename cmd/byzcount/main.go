@@ -94,12 +94,20 @@ flags for run:      -proto congest|local|geometric|support|kmv|walk|tree  -n N  
                     -byz B  -attack spam|silent|fake|crash
                     -placement random|clustered|spread  -seed N  -parallel N
                     -max-phase P  -churn K  -churn-stop R (churn requires -substrate hnd)
+                    -delay SPEC (unit|uniform:MIN-MAX|geo:P@CAP|region:G/NEAR/FAR|gst:R/SPEC)
+                    -gst R (jitter before round R, synchronous after)
+                    -drop P  -fault SPEC (drop:P|partition:G@FROM[-HEAL])
 (-parallel defaults to GOMAXPROCS; outputs are identical for every value)
 (-churn K runs on the dynamically maintained H(n,d): K leaves + K joins
  between every pair of rounds, quiescing at round R; with -byz B the
  roster maintains the Byzantine fraction B/n as the membership churns)
+(-delay/-fault run the virtual-time scheduler: per-message latency and
+ fault verdicts are drawn from per-sender streams, so outputs stay
+ identical for every -parallel value; omitting both keeps the
+ synchronous engine)
 flags for matrix:   comma-separated axis lists -proto -substrate -adversary
-                    -placement -n -byz-frac -churn, plus -churn-stop R  -d D
+                    -placement -n -byz-frac -churn -delay -fault,
+                    plus -churn-stop R  -d D
                     -max-phase P  -stop-frac F  -seed N  -trials N  -parallel N
                     -format table|csv  -subcache=false
 flags for bench:    -quick  -out FILE  -filter SUBSTR  -parallel N
@@ -368,11 +376,30 @@ func runCmd(args []string) error {
 		"leaves and joins applied between every pair of rounds (0 = static network)")
 	churnStop := fs.Int("churn-stop", 0,
 		"disable churn from this round on (0 = churn for the whole run)")
+	delay := fs.String("delay", "",
+		"delivery-latency model spec (unit|uniform:MIN-MAX|geo:P@CAP|region:G/NEAR/FAR|gst:R/SPEC); empty = synchronous engine")
+	gst := fs.Int("gst", 0,
+		"global stabilization round: jitter (-delay, default uniform:1-4) before round R, synchronous after")
+	drop := fs.Float64("drop", 0, "iid per-message drop probability (shorthand for -fault drop:P)")
+	fault := fs.String("fault", "",
+		"message-fault model spec (drop:P|partition:G@FROM[-HEAL]); overrides -drop")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *churnStop > 0 && *churn == 0 {
 		return fmt.Errorf("-churn-stop %d without -churn K has no effect; pass -churn or drop -churn-stop", *churnStop)
+	}
+	delaySpec := *delay
+	if *gst > 0 {
+		inner := delaySpec
+		if inner == "" {
+			inner = "uniform:1-4"
+		}
+		delaySpec = fmt.Sprintf("gst:%d/%s", *gst, inner)
+	}
+	faultSpec := *fault
+	if faultSpec == "" && *drop > 0 {
+		faultSpec = fmt.Sprintf("drop:%g", *drop)
 	}
 	adversary, err := resolveAttack(*attack, *proto)
 	if err != nil {
@@ -389,8 +416,10 @@ func runCmd(args []string) error {
 		MaxPhase:  *maxPhase,
 		StopFrac:  1,
 		Churn:     expt.ChurnProfile{Leaves: *churn, Joins: *churn, StopAfter: *churnStop, Mixed: true},
+		Delay:     delaySpec,
+		Fault:     faultSpec,
 	}
-	out, err := expt.RunScenario(sc, xrand.New(*seed), *parallel)
+	out, err := expt.RunScenario(sc, xrand.New(*seed), expt.RunOptions{Workers: *parallel})
 	if err != nil {
 		return err
 	}
@@ -405,6 +434,10 @@ func runCmd(args []string) error {
 	} else {
 		fmt.Printf("rounds=%d\n", out.Rounds)
 	}
+	if delaySpec != "" || faultSpec != "" {
+		fmt.Printf("delay=%s fault=%s dropped=%d\n",
+			orDash(delaySpec), orDash(faultSpec), m.Dropped)
+	}
 	fmt.Printf("messages=%d bits=%d max_msg_bits=%d\n", m.Messages, m.Bits, m.MaxMsgBits)
 	note := ""
 	if out.Runner != nil {
@@ -412,6 +445,14 @@ func runCmd(args []string) error {
 	}
 	printDecisions(out.Outcomes, out.Honest, *n, *d, m, note)
 	return nil
+}
+
+// orDash renders an empty axis spec as "-" in the run report.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 // splitList parses a comma-separated CLI list.
@@ -468,6 +509,8 @@ func matrixCmd(args []string) error {
 	byzFracs := fs.String("byz-frac", "0", "comma-separated Byzantine fractions (0 = benign)")
 	churns := fs.String("churn", "0", "comma-separated churn rates (leaves=joins per round)")
 	churnStop := fs.Int("churn-stop", 150, "disable churn from this round on (0 = churn forever)")
+	delays := fs.String("delay", "", "comma-separated delivery-latency model specs (empty = synchronous)")
+	faults := fs.String("fault", "", "comma-separated message-fault model specs (empty = none)")
 	d := fs.Int("d", 8, "degree parameter")
 	maxPhase := fs.Int("max-phase", 8, "congest phase cap (bounds hostile cells)")
 	stopFrac := fs.Float64("stop-frac", 0, "static cells: stop once this fraction of honest nodes decided")
@@ -506,6 +549,8 @@ func matrixCmd(args []string) error {
 		Ns:          nList,
 		ByzFracs:    fracList,
 		Churns:      profiles,
+		Delays:      splitList(*delays),
+		Faults:      splitList(*faults),
 		D:           *d,
 		MaxPhase:    *maxPhase,
 		StopFrac:    *stopFrac,

@@ -56,7 +56,7 @@ func geo(g *graph.Graph, rng *xrand.Rand, nByz int) {
 		}
 		byz = mask
 	}
-	eng := sim.NewEngine(g, rng.SplitN("geo", nByz).Uint64())
+	eng := sim.New(g, sim.WithSeed(rng.SplitN("geo", nByz).Uint64()))
 	procs := make([]sim.Proc, g.N())
 	for v := range procs {
 		if byz[v] {
@@ -92,7 +92,7 @@ func congest(g *graph.Graph, rng *xrand.Rand, label string, nByz int,
 	params := counting.DefaultCongestParams(d)
 	params.MaxPhase = 10
 	params.DisableBlacklist = disableBL
-	eng := sim.NewEngine(g, rng.Split("eng"+label).Uint64())
+	eng := sim.New(g, sim.WithSeed(rng.Split("eng"+label).Uint64()))
 	procs := make([]sim.Proc, g.N())
 	for v := range procs {
 		if byz[v] {

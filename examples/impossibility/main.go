@@ -35,7 +35,7 @@ func main() {
 
 		params := counting.DefaultCongestParams(d)
 		params.MaxPhase = 12
-		eng := sim.NewEngine(g, rng.Split("eng").Uint64())
+		eng := sim.New(g, sim.WithSeed(rng.Split("eng").Uint64()))
 		procs := make([]sim.Proc, g.N())
 		for v := range procs {
 			if v == bridge {

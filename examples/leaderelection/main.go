@@ -36,7 +36,7 @@ func main() {
 	// Phase 1: estimate log n (benign here; see p2pbootstrap for the
 	// Byzantine pipeline).
 	params := counting.DefaultCongestParams(d)
-	eng := sim.NewEngine(g, rng.Split("eng1").Uint64())
+	eng := sim.New(g, sim.WithSeed(rng.Split("eng1").Uint64()))
 	procs := make([]sim.Proc, n)
 	for v := range procs {
 		procs[v] = counting.NewCongestProc(params)
@@ -67,7 +67,7 @@ func main() {
 }
 
 func elect(g *graph.Graph, rng *xrand.Rand, params agreement.LeaderParams) (float64, sim.NodeID) {
-	eng := sim.NewEngine(g, rng.Uint64())
+	eng := sim.New(g, sim.WithSeed(rng.Uint64()))
 	procs := make([]sim.Proc, g.N())
 	for v := range procs {
 		procs[v] = agreement.NewLeaderProc(params)

@@ -43,7 +43,7 @@ func main() {
 	// Phase 1: Byzantine counting (Algorithm 2) under beacon spam.
 	params := counting.DefaultCongestParams(d)
 	params.MaxPhase = 12
-	eng := sim.NewEngine(g, rng.Split("eng1").Uint64())
+	eng := sim.New(g, sim.WithSeed(rng.Split("eng1").Uint64()))
 	procs := make([]sim.Proc, n)
 	for v := range procs {
 		if byz[v] {
@@ -82,7 +82,7 @@ func main() {
 	// Phase 2: agreement, parameterized by the counting estimate. Honest
 	// nodes start with a 70/30 split; Byzantine nodes flip tokens.
 	aParams := agreement.FromEstimate(logEst)
-	eng2 := sim.NewEngine(g, rng.Split("eng2").Uint64())
+	eng2 := sim.New(g, sim.WithSeed(rng.Split("eng2").Uint64()))
 	procs2 := make([]sim.Proc, n)
 	for v := range procs2 {
 		if byz[v] {

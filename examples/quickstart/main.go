@@ -33,7 +33,7 @@ func main() {
 	// 2. Attach one counting process per node. Nodes know only their own
 	//    degree, their random ID, and the protocol constants.
 	params := counting.DefaultCongestParams(d)
-	eng := sim.NewEngine(g, rng.Split("engine").Uint64())
+	eng := sim.New(g, sim.WithSeed(rng.Split("engine").Uint64()))
 	procs := make([]sim.Proc, *n)
 	for v := range procs {
 		procs[v] = counting.NewCongestProc(params)

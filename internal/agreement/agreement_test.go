@@ -15,7 +15,7 @@ func runAgreement(t *testing.T, n, d int, params Params, initial func(v int) byt
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := sim.NewEngine(g, seed+1)
+	eng := sim.New(g, sim.WithSeed(seed+1))
 	procs := make([]sim.Proc, n)
 	honest := make([]bool, n)
 	for v := range procs {
@@ -117,7 +117,7 @@ func TestProcHalts(t *testing.T) {
 	if p.Halted() {
 		t.Error("fresh proc halted")
 	}
-	env := sim.Env{Vertex: 0, Neighbors: []int{1}}.WithRand(xrand.New(1))
+	env := (&sim.Env{Vertex: 0, Neighbors: []int{1}}).WithRand(xrand.New(1))
 	for r := 0; r < params.TotalRounds()+1; r++ {
 		p.Step(env, r, nil)
 	}

@@ -16,7 +16,7 @@ func runLeader(t *testing.T, n, d int, params LeaderParams, byz []bool,
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := sim.NewEngine(g, seed+1)
+	eng := sim.New(g, sim.WithSeed(seed+1))
 	procs := make([]sim.Proc, n)
 	honest := make([]bool, n)
 	for v := range procs {

@@ -14,7 +14,7 @@ import (
 func runCongest(t *testing.T, g *graph.Graph, byz []bool, params counting.CongestParams,
 	mkByz func(v int) sim.Proc, seed uint64) ([]counting.Outcome, []sim.Proc) {
 	t.Helper()
-	eng := sim.NewEngine(g, seed)
+	eng := sim.New(g, sim.WithSeed(seed))
 	procs := make([]sim.Proc, g.N())
 	for v := range procs {
 		if byz[v] {
@@ -171,7 +171,7 @@ func TestCongestPathTamperer(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Frame 16 random honest IDs.
-	eng := sim.NewEngine(g, 25)
+	eng := sim.New(g, sim.WithSeed(25))
 	var frame []sim.NodeID
 	for v := 0; v < n && len(frame) < 16; v++ {
 		if !byz[v] {

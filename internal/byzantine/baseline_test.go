@@ -11,7 +11,7 @@ import (
 func TestGeoMaxFakerPoisonsFlood(t *testing.T) {
 	const n, fake = 128, 1 << 18
 	g := testGraph(t, n, 8, 70)
-	eng := sim.NewEngine(g, 71)
+	eng := sim.New(g, sim.WithSeed(71))
 	procs := make([]sim.Proc, n)
 	for v := range procs {
 		if v == 0 {
@@ -40,7 +40,7 @@ func TestGeoMaxFakerPoisonsFlood(t *testing.T) {
 func TestSupportMinFakerInflates(t *testing.T) {
 	const n, k = 128, 16
 	g := testGraph(t, n, 8, 72)
-	eng := sim.NewEngine(g, 73)
+	eng := sim.New(g, sim.WithSeed(73))
 	procs := make([]sim.Proc, n)
 	for v := range procs {
 		if v == 0 {
@@ -64,7 +64,7 @@ func TestSupportMinFakerInflates(t *testing.T) {
 func TestTreeCountInflaterCorruptsTotal(t *testing.T) {
 	const n, inflation = 100, 1 << 16
 	g := testGraph(t, n, 4, 74)
-	eng := sim.NewEngine(g, 75)
+	eng := sim.New(g, sim.WithSeed(75))
 	procs := make([]sim.Proc, n)
 	for v := range procs {
 		switch v {
@@ -132,7 +132,7 @@ func TestAttachKIdempotent(t *testing.T) {
 func TestBeaconSpammerEveryRound(t *testing.T) {
 	sched := counting.Schedule{StartPhase: 2, Gamma: 0.5}
 	sp := NewBeaconSpammer(sched, 3, true, xrand.New(77))
-	env := sim.Env{Neighbors: []int{1}}.WithRand(xrand.New(78))
+	env := (&sim.Env{Neighbors: []int{1}}).WithRand(xrand.New(78))
 	sends := 0
 	// Phase 2 iteration: offsets 0..8; beacon window sends at 0..3.
 	for r := 0; r < 9; r++ {

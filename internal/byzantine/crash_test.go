@@ -19,7 +19,7 @@ func (e *echoProc) Halted() bool { return false }
 func TestCrashStopsInner(t *testing.T) {
 	inner := &echoProc{}
 	c := NewCrash(inner, 3)
-	env := sim.Env{Neighbors: []int{1}}.WithRand(xrand.New(1))
+	env := (&sim.Env{Neighbors: []int{1}}).WithRand(xrand.New(1))
 	for r := 0; r < 10; r++ {
 		out := c.Step(env, r, nil)
 		if r < 3 && len(out) == 0 {

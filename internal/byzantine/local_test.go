@@ -12,7 +12,7 @@ import (
 func runLocal(t *testing.T, g *graph.Graph, byz []bool, params counting.LocalParams,
 	mkByz func(v int) sim.Proc, seed uint64) []counting.Outcome {
 	t.Helper()
-	eng := sim.NewEngine(g, seed)
+	eng := sim.New(g, sim.WithSeed(seed))
 	procs := make([]sim.Proc, g.N())
 	for v := range procs {
 		if byz[v] {

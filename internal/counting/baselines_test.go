@@ -11,7 +11,7 @@ import (
 
 func runProtocol(t *testing.T, g *graph.Graph, seed uint64, mk func(v int) sim.Proc, maxRounds int) ([]Outcome, []sim.Proc) {
 	t.Helper()
-	eng := sim.NewEngine(g, seed)
+	eng := sim.New(g, sim.WithSeed(seed))
 	procs := make([]sim.Proc, g.N())
 	for v := range procs {
 		procs[v] = mk(v)

@@ -19,7 +19,7 @@ func TestCongestAlgorithmFitsUnderEdgeCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(cap int) ([]Outcome, sim.Metrics) {
-		eng := sim.NewEngine(g, 91)
+		eng := sim.New(g, sim.WithSeed(91))
 		if cap > 0 {
 			eng.SetEdgeCapacity(cap)
 		}
@@ -60,7 +60,7 @@ func TestLocalAlgorithmViolatesEdgeCap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := sim.NewEngine(g, 93)
+	eng := sim.New(g, sim.WithSeed(93))
 	eng.SetEdgeCapacity(2048)
 	params := DefaultLocalParams(d)
 	procs := make([]sim.Proc, n)

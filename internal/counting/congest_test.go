@@ -18,7 +18,7 @@ func runCongestBenign(t *testing.T, n, d int, seed uint64) ([]Outcome, *sim.Engi
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := sim.NewEngine(g, seed+1)
+	eng := sim.New(g, sim.WithSeed(seed+1))
 	params := DefaultCongestParams(d)
 	procs := make([]sim.Proc, n)
 	for v := range procs {
@@ -163,7 +163,7 @@ func TestCongestMaxPhaseForcesDecision(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := sim.NewEngine(g, 9)
+	eng := sim.New(g, sim.WithSeed(9))
 	params := DefaultCongestParams(d)
 	params.C1 = 1e12 // activation probability 1 in every phase
 	params.MaxPhase = 4
@@ -198,7 +198,7 @@ func TestCongestRingStillTerminates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := sim.NewEngine(g, 10)
+	eng := sim.New(g, sim.WithSeed(10))
 	params := DefaultCongestParams(2)
 	procs := make([]sim.Proc, n)
 	for v := range procs {

@@ -10,7 +10,7 @@ import (
 
 func runLocalBenign(t *testing.T, g *graph.Graph, d int, seed uint64) ([]Outcome, *sim.Engine, int) {
 	t.Helper()
-	eng := sim.NewEngine(g, seed)
+	eng := sim.New(g, sim.WithSeed(seed))
 	params := DefaultLocalParams(d)
 	procs := make([]sim.Proc, g.N())
 	for v := range procs {
@@ -105,7 +105,7 @@ func TestLocalMuteByzantinePropagatesDistanceDecisions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := sim.NewEngine(g, 8)
+	eng := sim.New(g, sim.WithSeed(8))
 	params := DefaultLocalParams(8)
 	procs := make([]sim.Proc, g.N())
 	const byzVertex = 0
@@ -173,7 +173,7 @@ func TestLocalDegreeLiarDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := sim.NewEngine(g, 10)
+	eng := sim.New(g, sim.WithSeed(10))
 	params := DefaultLocalParams(6)
 	procs := make([]sim.Proc, g.N())
 	const byzVertex = 3
@@ -214,7 +214,7 @@ func TestLocalRingDecidesEarly(t *testing.T) {
 	}
 	params := DefaultLocalParams(2)
 	params.Alpha = 0.2
-	eng := sim.NewEngine(g, 11)
+	eng := sim.New(g, sim.WithSeed(11))
 	procs := make([]sim.Proc, g.N())
 	for v := range procs {
 		procs[v] = NewLocalProc(params)

@@ -97,7 +97,7 @@ func TestCongestEstimatesNeverBelowStartPhase(t *testing.T) {
 		}
 		params := DefaultCongestParams(4)
 		params.MaxPhase = 8
-		eng := sim.NewEngine(g, seed+1)
+		eng := sim.New(g, sim.WithSeed(seed+1))
 		procs := make([]sim.Proc, g.N())
 		for v := range procs {
 			procs[v] = NewCongestProc(params)
@@ -132,7 +132,7 @@ func TestCongestUpdateOnReentry(t *testing.T) {
 	run := func(update bool) []Outcome {
 		params := DefaultCongestParams(8)
 		params.UpdateOnReentry = update
-		eng := sim.NewEngine(g, 62)
+		eng := sim.New(g, sim.WithSeed(62))
 		procs := make([]sim.Proc, g.N())
 		for v := range procs {
 			procs[v] = NewCongestProc(params)
@@ -166,7 +166,7 @@ func TestLocalEstimatePositive(t *testing.T) {
 			return false
 		}
 		params := DefaultLocalParams(4)
-		eng := sim.NewEngine(g, seed+1)
+		eng := sim.New(g, sim.WithSeed(seed+1))
 		procs := make([]sim.Proc, g.N())
 		for v := range procs {
 			procs[v] = NewLocalProc(params)

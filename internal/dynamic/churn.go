@@ -82,7 +82,7 @@ func NewRunner(net *Network, churn Churn, seed uint64, factory ProcFactory) (*Ru
 		churn:   churn,
 		factory: factory,
 		rng:     xrand.New(seed),
-		eng:     sim.NewTopologyEngine(net, seed),
+		eng:     sim.New(net, sim.WithSeed(seed)),
 	}
 	r.joinIDs = r.rng.Split("joinids")
 	r.leaveRng = r.rng.Split("leave")
@@ -112,6 +112,15 @@ func (r *Runner) Engine() *sim.Engine { return r.eng }
 // SetParallelism forwards to the engine; churn runs are bit-identical
 // for every worker count, like every other workload.
 func (r *Runner) SetParallelism(workers int) { r.eng.SetParallelism(workers) }
+
+// SetDelayModel forwards to the engine: churn under virtual time means
+// membership events still apply at tick boundaries while messages are
+// in flight (a departure drops the slot's undelivered messages, exactly
+// as the synchronous convention drops its next-round inbox).
+func (r *Runner) SetDelayModel(m sim.DelayModel) { r.eng.SetDelayModel(m) }
+
+// SetFaultModel forwards to the engine.
+func (r *Runner) SetFaultModel(m sim.FaultModel) { r.eng.SetFaultModel(m) }
 
 // Network returns the underlying topology.
 func (r *Runner) Network() *Network { return r.net }

@@ -30,7 +30,7 @@ func TestBigImplicitTorusScenario(t *testing.T) {
 		D:         8,
 		MaxPhase:  2,
 	}
-	out, err := RunScenario(sc, xrand.New(42).Split("big"), 1)
+	out, err := RunScenario(sc, xrand.New(42).Split("big"), RunOptions{})
 	if err != nil {
 		t.Fatalf("RunScenario at n=%d: %v", n, err)
 	}

@@ -49,7 +49,7 @@ func E15(cfg Config) (*Table, error) {
 				Proto: "congest", Substrate: "hnd", Dynamic: true,
 				N: n, D: d, MaxPhase: 8,
 				Churn: ChurnProfile{Leaves: perRound, Joins: perRound, StopAfter: 150},
-			}, rng, 1)
+			}, rng, RunOptions{})
 			if err != nil {
 				return res{}, err
 			}

@@ -72,7 +72,7 @@ func E16(cfg Config) (*Table, error) {
 				Adversary: "spam", Placement: "random",
 				N: n, D: d, ByzFrac: byzFrac, MaxPhase: 8,
 				Churn: ChurnProfile{Leaves: perRound, Joins: perRound, StopAfter: 150, Mixed: true},
-			}, rng, 1)
+			}, rng, RunOptions{})
 			if err != nil {
 				return res{}, err
 			}
@@ -147,7 +147,7 @@ func E17(cfg Config) (*Table, error) {
 				Adversary: "spam", Placement: c.placement,
 				N: n, D: d, ByzFrac: byzFrac, MaxPhase: 8,
 				Churn: ChurnProfile{Leaves: c.perRound, Joins: c.perRound, StopAfter: 150, Mixed: true},
-			}, rng, 1)
+			}, rng, RunOptions{})
 			if err != nil {
 				return res{}, err
 			}
@@ -213,7 +213,7 @@ func E18(cfg Config) (*Table, error) {
 	results, err := sweepRows(cfg, root, rows,
 		func(rw row) string { return fmt.Sprintf("e18-%s-%d", rw.name, rw.byzJoiners) },
 		func(rw row, trial int, rng *xrand.Rand) (float64, error) {
-			r, err := RunScenario(rw.sc, rng, 1)
+			r, err := RunScenario(rw.sc, rng, RunOptions{})
 			if err != nil {
 				return 0, err
 			}

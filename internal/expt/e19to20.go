@@ -1,0 +1,146 @@
+package expt
+
+import (
+	"byzcount/internal/stats"
+	"byzcount/internal/xrand"
+)
+
+// E19-E20 are the virtual-time cells: the delivery axes (delay and
+// fault models) composed with the counting protocol. Before the
+// event-ring scheduler the engine could only speak lockstep synchrony —
+// partial synchrony (a Global Stabilization Time), per-edge latency
+// jitter, and partitions were inexpressible. Both experiments run
+// through RunScenario like every other cell, so their tables are pure
+// functions of the seed and byte-identical at every worker count
+// (pinned by TestVirtualTimeExperimentsDeterministic).
+
+// E19 — extension: CONGEST counting under partial synchrony. Before the
+// GST round, message latency is uniform jitter on [1,6]; from GST on,
+// every edge delivers next round (the synchronous model the paper
+// assumes throughout). The counting schedule is phase-locked to round
+// numbers, so pre-GST reordering delivers beacons after the slots that
+// expected them and the protocol reads the gap as silence: jittered
+// rows decide earlier, on less evidence and fewer messages, and the
+// GST row falls between the synchronous and never-stable extremes.
+func E19(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E19",
+		Title:   "Extension: CONGEST counting under partial synchrony (jitter until GST)",
+		Claim:   "Theorem 2 assumes lockstep synchrony; under partial synchrony the guarantee should hold once delivery stabilizes (GST) and degrade with the span of the asynchronous prefix",
+		Columns: []string{"delay", "rounds", "decided_frac", "bounded_frac", "msgs/n"},
+	}
+	const d = 8
+	n := 256
+	if cfg.Quick {
+		n = 128
+	}
+	delays := []string{"unit", "gst:8/uniform:1-6", "gst:32/uniform:1-6", "uniform:1-6"}
+	if cfg.Quick {
+		delays = []string{"unit", "gst:8/uniform:1-6", "uniform:1-6"}
+	}
+	root := xrand.New(cfg.Seed)
+	type res struct {
+		rounds, decided, bounded, msgs float64
+	}
+	results, err := sweepRows(cfg, root, delays,
+		func(spec string) string { return "e19-" + spec },
+		func(spec string, trial int, rng *xrand.Rand) (res, error) {
+			r, err := RunScenario(Scenario{
+				Proto: "congest", Substrate: "hnd",
+				N: n, D: d, MaxPhase: 8, StopFrac: 1,
+				Delay: spec,
+			}, rng, RunOptions{})
+			if err != nil {
+				return res{}, err
+			}
+			dec, bnd, _ := congestBand(r, n, d)
+			return res{
+				rounds:  float64(r.Rounds),
+				decided: dec,
+				bounded: bnd,
+				msgs:    float64(r.Metrics.Messages) / float64(n),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range delays {
+		rs := results[i]
+		t.AddRow(spec,
+			stats.Mean(column(rs, func(r res) float64 { return r.rounds })),
+			stats.Mean(column(rs, func(r res) float64 { return r.decided })),
+			stats.Mean(column(rs, func(r res) float64 { return r.bounded })),
+			stats.Mean(column(rs, func(r res) float64 { return r.msgs })))
+	}
+	t.Notes = append(t.Notes,
+		"delay specs per sim.ParseDelayModel; \"unit\" runs the virtual-time scheduler in its degenerate synchronous configuration and must match the legacy tables",
+		"the CONGEST schedule is phase-locked to rounds: pre-GST jitter delivers beacons after the slots that expected them, which the protocol reads as silence")
+	return t, nil
+}
+
+// E20 — extension: counting across a partition that heals. The fault
+// axis cuts every edge between the two vertex-parity groups inside a
+// configurable window; the storyline sweeps the heal round from "never
+// cut" through "heals before the schedule's decision slots" to "never
+// heals". A partitioned half sees a network of n/2 — within the
+// log-scale estimate band at these scales, so the cut shows up as the
+// decision-time and message-ledger shift, with the dropped column
+// counting every delivery the cut suppressed.
+func E20(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E20",
+		Title:   "Extension: CONGEST counting across a partition window (cut at 10, heal swept)",
+		Claim:   "counting needs cross-network beacon flow: a partition that heals before the decision slots costs rounds, one that persists costs the estimate band",
+		Columns: []string{"fault", "rounds", "decided_frac", "bounded_frac", "dropped/n"},
+	}
+	const d = 8
+	n := 256
+	if cfg.Quick {
+		n = 128
+	}
+	faults := []string{"none", "partition:2@10-40", "partition:2@10-70", "partition:2@10"}
+	if cfg.Quick {
+		faults = []string{"none", "partition:2@10-40", "partition:2@10"}
+	}
+	root := xrand.New(cfg.Seed)
+	type res struct {
+		rounds, decided, bounded, dropped float64
+	}
+	results, err := sweepRows(cfg, root, faults,
+		func(spec string) string { return "e20-" + spec },
+		func(spec string, trial int, rng *xrand.Rand) (res, error) {
+			r, err := RunScenario(Scenario{
+				Proto: "congest", Substrate: "hnd",
+				N: n, D: d, MaxPhase: 8, StopFrac: 1,
+				// "unit" delivery keeps the only perturbation the cut
+				// itself: rows differ purely in the fault window.
+				Delay: "unit",
+				Fault: spec,
+			}, rng, RunOptions{})
+			if err != nil {
+				return res{}, err
+			}
+			dec, bnd, _ := congestBand(r, n, d)
+			return res{
+				rounds:  float64(r.Rounds),
+				decided: dec,
+				bounded: bnd,
+				dropped: float64(r.Metrics.Dropped) / float64(n),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range faults {
+		rs := results[i]
+		t.AddRow(spec,
+			stats.Mean(column(rs, func(r res) float64 { return r.rounds })),
+			stats.Mean(column(rs, func(r res) float64 { return r.decided })),
+			stats.Mean(column(rs, func(r res) float64 { return r.bounded })),
+			stats.Mean(column(rs, func(r res) float64 { return r.dropped })))
+	}
+	t.Notes = append(t.Notes,
+		"fault specs per sim.ParseFaultModel: partition:2@FROM[-HEAL] cuts every edge whose endpoints differ in vertex parity for rounds [FROM, HEAL); omitting HEAL never heals",
+		"dropped counts messages suppressed by the cut (charged to the sender's edge budget, excluded from Messages) — the virtual-time ledger the synchronous engine had no column for")
+	return t, nil
+}

@@ -227,7 +227,7 @@ func E3(cfg Config) (*Table, error) {
 				Proto: "congest", Substrate: "hnd",
 				Adversary: "spam", Placement: "random",
 				N: n, D: d, Byz: b, MaxPhase: 9, StopFrac: 1,
-			}, rng, 1)
+			}, rng, RunOptions{})
 			if err != nil {
 				return res{}, err
 			}
@@ -470,7 +470,7 @@ func E6(cfg Config) (*Table, error) {
 	results, err := sweepRows(cfg, root, rows,
 		func(rw row) string { return fmt.Sprintf("e6-%s-%d", rw.name, rw.byz) },
 		func(rw row, trial int, rng *xrand.Rand) (float64, error) {
-			r, err := RunScenario(rw.sc, rng, 1)
+			r, err := RunScenario(rw.sc, rng, RunOptions{})
 			if err != nil {
 				return 0, err
 			}

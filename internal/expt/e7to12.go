@@ -359,7 +359,7 @@ func E11(cfg Config) (*Table, error) {
 
 // runAgreeWithParams runs the agreement protocol with explicit params.
 func runAgreeWithParams(rng *xrand.Rand, g *graph.Graph, byz []bool, params agreement.Params) (float64, error) {
-	eng := sim.NewEngine(g, rng.Uint64())
+	eng := sim.New(g, sim.WithSeed(rng.Uint64()))
 	procs := make([]sim.Proc, g.N())
 	honest := make([]bool, g.N())
 	for v := range procs {
@@ -413,7 +413,7 @@ func E12(cfg Config) (*Table, error) {
 				Proto: "congest", Substrate: "hnd",
 				Adversary: "spam", Placement: name,
 				N: n, D: d, Byz: b, MaxPhase: 10, StopFrac: 1,
-			}, rng, 1)
+			}, rng, RunOptions{})
 			if err != nil {
 				return res{}, err
 			}

@@ -1,5 +1,5 @@
 // Package expt is the experiment harness of the reproduction: one
-// runner per experiment E1-E18 (see DESIGN.md for the experiment index
+// runner per experiment E1-E20 (see DESIGN.md for the experiment index
 // mapping each to a claim of the paper), the concurrent sweep driver
 // they share, and the scenario-composition layer (scenario.go) that
 // makes protocol x substrate x adversary x placement x churn an
@@ -144,6 +144,8 @@ var Registry = map[string]Runner{
 	"E16": E16,
 	"E17": E17,
 	"E18": E18,
+	"E19": E19,
+	"E20": E20,
 }
 
 // IDs returns the registered experiment IDs in order.

@@ -9,10 +9,10 @@ func quickCfg() Config { return Config{Seed: 42, Trials: 1, Quick: true} }
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
+	if len(ids) != 20 {
 		t.Fatalf("registry has %d experiments: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[len(ids)-1] != "E18" {
+	if ids[0] != "E1" || ids[len(ids)-1] != "E20" {
 		t.Errorf("IDs order: %v", ids)
 	}
 }

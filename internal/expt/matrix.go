@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"byzcount/internal/counting"
+	"byzcount/internal/sim"
 	"byzcount/internal/stats"
 	"byzcount/internal/xrand"
 )
@@ -24,6 +25,11 @@ type Matrix struct {
 	Ns          []int
 	ByzFracs    []float64 // 0 entries mean benign
 	Churns      []ChurnProfile
+	// Delays and Faults are the virtual-time delivery axes: delay-model
+	// and fault-model specs per sim.ParseDelayModel/ParseFaultModel.
+	// Empty strings (and an empty list) select the synchronous default.
+	Delays []string
+	Faults []string
 
 	D        int // shared degree parameter (default 8)
 	MaxPhase int // congest phase cap (default 8: bounds hostile cells)
@@ -61,11 +67,21 @@ func (m Matrix) checkAxes() error {
 			return fmt.Errorf("expt: unknown placement %q (have %v)", p, PlacementNames())
 		}
 	}
+	for _, spec := range m.Delays {
+		if _, err := sim.ParseDelayModel(spec); err != nil {
+			return err
+		}
+	}
+	for _, spec := range m.Faults {
+		if _, err := sim.ParseFaultModel(spec); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // Scenarios enumerates the cross-product in axis-major order (protocol
-// outermost, churn innermost). Unknown axis values error; cells whose
+// outermost, fault innermost). Unknown axis values error; cells whose
 // axes merely do not compose (a Byzantine budget with the "none"
 // adversary, a schedule-driven adversary on a non-CONGEST protocol,
 // churn on a static-only substrate) are counted and skipped — a slice
@@ -89,28 +105,33 @@ func (m Matrix) Scenarios() (cells []Scenario, skipped int, err error) {
 					for _, n := range orDefault(m.Ns, 256) {
 						for _, frac := range orDefault(m.ByzFracs, 0) {
 							for _, churn := range orDefault(m.Churns, ChurnProfile{}) {
-								sc := Scenario{
-									Proto: proto, Substrate: sub,
-									Adversary: adv, Placement: pl,
-									N: n, D: d, ByzFrac: frac,
-									Churn: churn, Dynamic: churn.Active(),
-									MaxPhase: maxPhase, StopFrac: m.StopFrac,
+								for _, delay := range orDefault(m.Delays, "") {
+									for _, fault := range orDefault(m.Faults, "") {
+										sc := Scenario{
+											Proto: proto, Substrate: sub,
+											Adversary: adv, Placement: pl,
+											N: n, D: d, ByzFrac: frac,
+											Churn: churn, Dynamic: churn.Active(),
+											MaxPhase: maxPhase, StopFrac: m.StopFrac,
+											Delay: delay, Fault: fault,
+										}
+										if frac == 0 && adv != "none" {
+											// A benign cell is the same run whatever
+											// the adversary axis says; keep the grid
+											// free of duplicates by naming it "none".
+											sc.Adversary = "none"
+										}
+										if frac > 0 && adv == "none" {
+											skipped++
+											continue
+										}
+										if err := sc.Validate(); err != nil {
+											skipped++
+											continue
+										}
+										cells = append(cells, sc)
+									}
 								}
-								if frac == 0 && adv != "none" {
-									// A benign cell is the same run whatever
-									// the adversary axis says; keep the grid
-									// free of duplicates by naming it "none".
-									sc.Adversary = "none"
-								}
-								if frac > 0 && adv == "none" {
-									skipped++
-									continue
-								}
-								if err := sc.Validate(); err != nil {
-									skipped++
-									continue
-								}
-								cells = append(cells, sc)
 							}
 						}
 					}
@@ -161,7 +182,7 @@ func RunMatrix(cfg Config, m Matrix) (*Table, error) {
 	results, err := sweepRows(cfg, root, scs,
 		func(sc Scenario) string { return sc.Label() },
 		func(sc Scenario, trial int, rng *xrand.Rand) (res, error) {
-			r, err := RunScenario(sc, rng, 1)
+			r, err := RunScenario(sc, rng, RunOptions{})
 			if err != nil {
 				return res{}, err
 			}

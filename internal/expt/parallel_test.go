@@ -55,10 +55,12 @@ func TestSweepRowsErrorPropagation(t *testing.T) {
 // runner shape: n-sweeps (E1, E3), scenario rows sharing a histogram
 // (E4, E14), the shared-label rows of the impossibility experiment
 // (E10), the shared-FakeWorld LOCAL attack (E2), crash churn (E13), the
-// dynamic-network engine (E15), and the churn x Byzantine cross-product
-// cells (E16, E18 — roster-maintained fractions and Byzantine joiners).
+// dynamic-network engine (E15), the churn x Byzantine cross-product
+// cells (E16, E18 — roster-maintained fractions and Byzantine joiners),
+// and the virtual-time delivery cells (E19 GST jitter, E20 partition
+// windows — whole tables through the event-ring scheduler).
 func TestTablesIdenticalAcrossParallelism(t *testing.T) {
-	ids := []string{"E1", "E2", "E3", "E4", "E10", "E13", "E14", "E15", "E16", "E18"}
+	ids := []string{"E1", "E2", "E3", "E4", "E10", "E13", "E14", "E15", "E16", "E18", "E19", "E20"}
 	if testing.Short() {
 		ids = []string{"E3", "E10"}
 	}

@@ -43,32 +43,48 @@ func runProtocol(g *graph.Graph, byz []bool, seed uint64, honestProc, byzProc mk
 // stragglers may never decide on their own). stopFrac <= 0 runs to halt.
 func runProtocolFrac(g *graph.Graph, byz []bool, seed uint64, honestProc, byzProc mkProc,
 	maxRounds int, stopFrac float64) (runOutcome, error) {
-	return runProtocolFracPar(g, byz, seed, honestProc, byzProc, maxRounds, stopFrac, 1)
+	return runProtocolFracPar(g, byz, seed, honestProc, byzProc, maxRounds, stopFrac, engineOpts{})
 }
 
-// runProtocolFracPar is runProtocolFrac with an explicit engine
-// Step-shard worker count (1 = serial; executions are bit-identical for
-// every value, so only the CLI ever passes anything else).
+// engineOpts is the execution-shape bundle RunScenario threads to the
+// engine: the Step-shard worker count plus the virtual-time delivery
+// models (nil delay and fault keep the synchronous round loop, and with
+// it byte-for-byte compatibility with every pre-virtual-time table).
+type engineOpts struct {
+	workers int // 0 or 1 = serial
+	delay   sim.DelayModel
+	fault   sim.FaultModel
+}
+
+// runProtocolFracPar is runProtocolFrac with explicit engine options
+// (executions are bit-identical for every worker count, so only the CLI
+// ever asks for parallelism).
 func runProtocolFracPar(g *graph.Graph, byz []bool, seed uint64, honestProc, byzProc mkProc,
-	maxRounds int, stopFrac float64, workers int) (runOutcome, error) {
-	return runProtocolOnEngine(sim.NewEngine(g, seed), g.N(), byz, honestProc, byzProc, maxRounds, stopFrac, workers)
+	maxRounds int, stopFrac float64, eo engineOpts) (runOutcome, error) {
+	return runProtocolOnEngine(sim.New(g, sim.WithSeed(seed)), g.N(), byz, honestProc, byzProc, maxRounds, stopFrac, eo)
 }
 
 // runProtocolFracParTopo is runProtocolFracPar over an implicit
 // topology: the engine resolves neighborhoods on demand instead of
-// ingesting a materialized CSR. NewEngine and NewTopologyEngine assign
-// IDs from the same seed-derived stream in slot order, so over
-// identical adjacency the two paths produce byte-identical runs.
+// ingesting a materialized CSR. Both sim.New dispatch paths assign IDs
+// from the same seed-derived stream in slot order, so over identical
+// adjacency the two paths produce byte-identical runs.
 func runProtocolFracParTopo(topo sim.Topology, byz []bool, seed uint64, honestProc, byzProc mkProc,
-	maxRounds int, stopFrac float64, workers int) (runOutcome, error) {
-	return runProtocolOnEngine(sim.NewTopologyEngine(topo, seed), topo.Slots(), byz, honestProc, byzProc, maxRounds, stopFrac, workers)
+	maxRounds int, stopFrac float64, eo engineOpts) (runOutcome, error) {
+	return runProtocolOnEngine(sim.New(topo, sim.WithSeed(seed)), topo.Slots(), byz, honestProc, byzProc, maxRounds, stopFrac, eo)
 }
 
 // runProtocolOnEngine is the substrate-independent protocol run body
 // shared by the static and implicit paths.
 func runProtocolOnEngine(eng *sim.Engine, n int, byz []bool, honestProc, byzProc mkProc,
-	maxRounds int, stopFrac float64, workers int) (runOutcome, error) {
-	eng.SetParallelism(workers)
+	maxRounds int, stopFrac float64, eo engineOpts) (runOutcome, error) {
+	if eo.delay != nil {
+		eng.SetDelayModel(eo.delay)
+	}
+	if eo.fault != nil {
+		eng.SetFaultModel(eo.fault)
+	}
+	eng.SetParallelism(max(eo.workers, 1))
 	procs := make([]sim.Proc, n)
 	for v := range procs {
 		if byz != nil && byz[v] {

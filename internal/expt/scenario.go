@@ -67,6 +67,18 @@ type Scenario struct {
 	// must run on the same topology family as its churned rows).
 	Dynamic bool
 
+	// Delay and Fault are the virtual-time delivery axes: a latency-model
+	// spec (sim.ParseDelayModel — "unit", "uniform:1-4", "geo:0.5@8",
+	// "region:2/1/6", "gst:32/uniform:1-6") and a message-fault spec
+	// (sim.ParseFaultModel — "drop:0.05", "partition:2@16-48"). Empty
+	// keeps the synchronous engine and with it byte-for-byte
+	// compatibility with every pre-virtual-time table; any non-empty
+	// value (including the degenerate "unit") runs the cell on the
+	// event-ring scheduler. Specs appear verbatim in Label(), so cells
+	// differing only in delivery semantics draw distinct sweep sub-seeds.
+	Delay string
+	Fault string
+
 	MaxPhase  int     // congest protocols: phase-cap override (0 = default)
 	MaxRounds int     // round-budget override (0 = the protocol's default)
 	StopFrac  float64 // stop once this fraction of the (alive) honest nodes decided (0 = run to halt)
@@ -136,6 +148,12 @@ func (sc Scenario) Label() string {
 	} else if sc.Dynamic {
 		b.WriteString("/dynamic")
 	}
+	if sc.Delay != "" {
+		fmt.Fprintf(&b, "/delay=%s", sc.Delay)
+	}
+	if sc.Fault != "" && sc.Fault != "none" {
+		fmt.Fprintf(&b, "/fault=%s", sc.Fault)
+	}
 	return b.String()
 }
 
@@ -189,6 +207,16 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.N < 3 || sc.D < 1 {
 		return fmt.Errorf("expt: degenerate scale n=%d d=%d", sc.N, sc.D)
+	}
+	if sc.Delay != "" {
+		if _, err := sim.ParseDelayModel(sc.Delay); err != nil {
+			return err
+		}
+	}
+	if sc.Fault != "" {
+		if _, err := sim.ParseFaultModel(sc.Fault); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -270,7 +298,7 @@ type Substrate struct {
 	Deterministic bool
 	Build         func(n, d int, rng *xrand.Rand) (*graph.Graph, error)
 	// Implicit, when set, marks an on-demand family: RunScenario runs it
-	// on sim.NewTopologyEngine over the returned topology instead of
+	// on a sim.New engine over the returned topology instead of
 	// materializing a CSR, so a million-vertex cell costs O(1) substrate
 	// memory. The run path mirrors the static split-label sequence and
 	// both engine constructors share their ID-stream derivation, so an
@@ -490,13 +518,25 @@ type ScenarioOutcome struct {
 	AliveSlots []int
 }
 
+// RunOptions is the execution-shape half of a scenario run: everything
+// that changes how a cell executes without changing which cell it is.
+// The zero value is the default serial run, so call sites read
+// RunScenario(sc, rng, RunOptions{}) unless they have something to say.
+// (Delivery semantics — delay and fault models — are Scenario axes, not
+// options: they select a different cell with its own label and tables.)
+type RunOptions struct {
+	// Workers is the engine's Step-shard worker count (0 or 1 = serial;
+	// outputs are bit-identical for every value).
+	Workers int
+}
+
 // RunScenario executes one scenario cell. rng is the cell's root random
-// stream (a sweep driver sub-seed, or xrand.New(seed) from the CLI);
-// workers is the engine's Step-shard worker count (1 = serial; outputs
-// are identical for every value). Static cells run on sim.NewEngine
-// over the built graph, churning cells on dynamic.Runner with a
-// byzantine.Roster re-evaluating the placement as members arrive.
-func RunScenario(sc Scenario, rng *xrand.Rand, workers int) (*ScenarioOutcome, error) {
+// stream (a sweep driver sub-seed, or xrand.New(seed) from the CLI).
+// Static cells run on sim.New over the built graph, churning cells on
+// dynamic.Runner with a byzantine.Roster re-evaluating the placement as
+// members arrive; a Delay or Fault axis puts the engine on the
+// virtual-time scheduler either way.
+func RunScenario(sc Scenario, rng *xrand.Rand, opts RunOptions) (*ScenarioOutcome, error) {
 	sc = sc.withDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -513,13 +553,18 @@ func RunScenario(sc Scenario, rng *xrand.Rand, workers int) (*ScenarioOutcome, e
 	if sc.Proto == "local" {
 		ctx.local = counting.DefaultLocalParams(sc.D + 2)
 	}
+	// Validate parsed these already; nil models (empty specs) keep the
+	// synchronous engine.
+	eo := engineOpts{workers: opts.Workers}
+	eo.delay, _ = sim.ParseDelayModel(sc.Delay)
+	eo.fault, _ = sim.ParseFaultModel(sc.Fault)
 	if sc.Churn.Active() || sc.Dynamic {
-		return runScenarioChurn(sc, ctx, proto, adv, workers)
+		return runScenarioChurn(sc, ctx, proto, adv, eo)
 	}
 	if Substrates[sc.Substrate].Implicit != nil {
-		return runScenarioImplicit(sc, ctx, proto, adv, workers)
+		return runScenarioImplicit(sc, ctx, proto, adv, eo)
 	}
-	return runScenarioStatic(sc, ctx, proto, adv, workers)
+	return runScenarioStatic(sc, ctx, proto, adv, eo)
 }
 
 // runScenarioImplicit is the on-demand-substrate path: no CSR is
@@ -527,9 +572,9 @@ func RunScenario(sc Scenario, rng *xrand.Rand, workers int) (*ScenarioOutcome, e
 // implicit topology. The split-label sequence ("graph", "place", "run")
 // mirrors runScenarioStatic call for call (the "graph" stream is split
 // even though deterministic implicit builds never draw from it), and
-// NewTopologyEngine assigns IDs exactly as NewEngine does, so a cell's
+// both sim.New dispatch paths assign IDs the same way, so a cell's
 // outputs are byte-identical to the materialized counterpart's.
-func runScenarioImplicit(sc Scenario, ctx *scenarioCtx, proto Protocol, adv Adversary, workers int) (*ScenarioOutcome, error) {
+func runScenarioImplicit(sc Scenario, ctx *scenarioCtx, proto Protocol, adv Adversary, eo engineOpts) (*ScenarioOutcome, error) {
 	sub := Substrates[sc.Substrate]
 	_ = ctx.rng.Split("graph")
 	topo, err := sub.Implicit(sc.N, sc.D)
@@ -557,7 +602,7 @@ func runScenarioImplicit(sc Scenario, ctx *scenarioCtx, proto Protocol, adv Adve
 	r, err := runProtocolFracParTopo(topo, byz, ctx.rng.Split("run").Uint64(),
 		func(v int, eng *sim.Engine) sim.Proc { return proto.Proc(ctx, v) },
 		func(v int, eng *sim.Engine) sim.Proc { return adv.Proc(ctx, v) },
-		maxRounds, sc.StopFrac, workers)
+		maxRounds, sc.StopFrac, eo)
 	if err != nil {
 		return nil, err
 	}
@@ -577,7 +622,7 @@ func runScenarioImplicit(sc Scenario, ctx *scenarioCtx, proto Protocol, adv Adve
 // sequence ("graph", "place", adversary Prepare labels, "run") is
 // exactly the hand-wired runners', which is what keeps the rebased
 // E3/E6/E12 tables byte-identical.
-func runScenarioStatic(sc Scenario, ctx *scenarioCtx, proto Protocol, adv Adversary, workers int) (*ScenarioOutcome, error) {
+func runScenarioStatic(sc Scenario, ctx *scenarioCtx, proto Protocol, adv Adversary, eo engineOpts) (*ScenarioOutcome, error) {
 	sub := Substrates[sc.Substrate]
 	// The build stream is split off purely for this build, so its seed
 	// identifies the draw and the substrate cache can reuse one immutable
@@ -609,7 +654,7 @@ func runScenarioStatic(sc Scenario, ctx *scenarioCtx, proto Protocol, adv Advers
 	r, err := runProtocolFracPar(g, byz, ctx.rng.Split("run").Uint64(),
 		func(v int, eng *sim.Engine) sim.Proc { return proto.Proc(ctx, v) },
 		func(v int, eng *sim.Engine) sim.Proc { return adv.Proc(ctx, v) },
-		maxRounds, sc.StopFrac, workers)
+		maxRounds, sc.StopFrac, eo)
 	if err != nil {
 		return nil, err
 	}
@@ -631,7 +676,7 @@ func runScenarioStatic(sc Scenario, ctx *scenarioCtx, proto Protocol, adv Advers
 // Split labels ("net", "place", "roster", "eng") match E15's, so its
 // rebased tables stay byte-identical (a benign scenario draws nothing
 // from "place"/"roster").
-func runScenarioChurn(sc Scenario, ctx *scenarioCtx, proto Protocol, adv Adversary, workers int) (*ScenarioOutcome, error) {
+func runScenarioChurn(sc Scenario, ctx *scenarioCtx, proto Protocol, adv Adversary, eo engineOpts) (*ScenarioOutcome, error) {
 	net, err := dynamic.NewNetwork(sc.N, sc.D, ctx.rng.Split("net"))
 	if err != nil {
 		return nil, err
@@ -686,7 +731,13 @@ func runScenarioChurn(sc Scenario, ctx *scenarioCtx, proto Protocol, adv Adversa
 	}
 	initial = false
 	run.SetLeaveHook(roster.OnLeave)
-	run.SetParallelism(workers)
+	run.SetParallelism(max(eo.workers, 1))
+	if eo.delay != nil {
+		run.SetDelayModel(eo.delay)
+	}
+	if eo.fault != nil {
+		run.SetFaultModel(eo.fault)
+	}
 	if sc.StopFrac > 0 {
 		// Stop once StopFrac of the currently alive honest nodes have
 		// decided. While churn is active fresh joiners keep the decided

@@ -20,7 +20,7 @@ import (
 // runCell executes one scenario cell from a fresh seed-derived stream.
 func runCell(t *testing.T, sc Scenario, workers int) *ScenarioOutcome {
 	t.Helper()
-	out, err := RunScenario(sc, xrand.New(42).Split("cell"), workers)
+	out, err := RunScenario(sc, xrand.New(42).Split("cell"), RunOptions{Workers: workers})
 	if err != nil {
 		t.Fatalf("RunScenario(%s): %v", sc.Label(), err)
 	}

@@ -24,6 +24,10 @@ func TestScenarioValidate(t *testing.T) {
 			Churn: ChurnProfile{Leaves: 1, Joins: 1}}, "benign"},
 		{Scenario{Byz: 2}, "adversary"}, // Byzantine nodes with adversary "none"
 		{Scenario{N: 2}, "degenerate"},
+		{Scenario{Delay: "bogus"}, "delay"},
+		{Scenario{Delay: "uniform:4-1"}, "uniform"},
+		{Scenario{Fault: "bogus"}, "fault"},
+		{Scenario{Fault: "drop:1.5"}, "drop"},
 	}
 	for _, tc := range bad {
 		err := tc.sc.Validate()
@@ -72,6 +76,57 @@ func TestScenarioLabel(t *testing.T) {
 			t.Errorf("scenarios %d and %d collapse onto label %q", i, j, s.Label())
 		}
 		seen[s.Label()] = i
+	}
+	// The delivery axes select cells too: specs appear verbatim, and
+	// fault "none" collapses onto the default.
+	vt := Scenario{Delay: "gst:32/uniform:1-6", Fault: "partition:2@16-48"}
+	if got, want := vt.Label(), "congest/hnd/none/n=256/delay=gst:32/uniform:1-6/fault=partition:2@16-48"; got != want {
+		t.Errorf("virtual-time label = %q, want %q", got, want)
+	}
+	if got, want := (Scenario{Fault: "none"}).Label(), (Scenario{}).Label(); got != want {
+		t.Errorf("fault \"none\" label = %q, want the default %q", got, want)
+	}
+}
+
+// TestScenarioVirtualTimeDeterminism: cells on the event-ring scheduler
+// — jittered latency, GST, drops, partitions, on static and churning
+// substrates — are pure functions of the seed and bit-identical across
+// engine worker counts, exactly like their synchronous siblings.
+func TestScenarioVirtualTimeDeterminism(t *testing.T) {
+	cells := []Scenario{
+		{Proto: "congest", N: 64, D: 8, MaxPhase: 6, Delay: "uniform:1-4"},
+		{Proto: "congest", N: 64, D: 8, MaxPhase: 6, Delay: "gst:12/uniform:1-6", Fault: "drop:0.05"},
+		{Proto: "congest", N: 64, D: 8, MaxPhase: 6, Delay: "unit", Fault: "partition:2@8-30"},
+		{Proto: "congest", N: 64, D: 8, MaxPhase: 6, Delay: "geo:0.5@6",
+			Churn: ChurnProfile{Leaves: 1, Joins: 1, StopAfter: 30, Mixed: true}},
+	}
+	for _, sc := range cells {
+		sc := sc
+		t.Run(sc.Label(), func(t *testing.T) {
+			t.Parallel()
+			type snap struct {
+				outcomes any
+				metrics  any
+				rounds   int
+			}
+			runOnce := func(workers int) snap {
+				t.Helper()
+				out, err := RunScenario(sc, xrand.New(99), RunOptions{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return snap{out.Outcomes, out.Metrics, out.Rounds}
+			}
+			serial := runOnce(1)
+			if serial.rounds == 0 {
+				t.Fatal("degenerate run")
+			}
+			for _, w := range []int{3, 8} {
+				if got := runOnce(w); !reflect.DeepEqual(serial, got) {
+					t.Errorf("workers=%d diverges from serial", w)
+				}
+			}
+		})
 	}
 }
 
@@ -144,7 +199,7 @@ func TestScenarioChurnByzDeterminism(t *testing.T) {
 	}
 	runOnce := func(workers int) snap {
 		t.Helper()
-		out, err := RunScenario(sc, xrand.New(99), workers)
+		out, err := RunScenario(sc, xrand.New(99), RunOptions{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,7 +224,7 @@ func TestScenarioStaticMatchesHandWired(t *testing.T) {
 	out, err := RunScenario(Scenario{
 		Proto: "congest", Adversary: "spam", Placement: "random",
 		N: 64, D: 8, Byz: 4, MaxPhase: 6, StopFrac: 1,
-	}, rngA, 1)
+	}, rngA, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +235,7 @@ func TestScenarioStaticMatchesHandWired(t *testing.T) {
 	out2, err := RunScenario(Scenario{
 		Proto: "congest", Adversary: "spam", Placement: "random",
 		N: 64, D: 8, Byz: 4, MaxPhase: 6, StopFrac: 1,
-	}, xrand.New(1234), 1)
+	}, xrand.New(1234), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

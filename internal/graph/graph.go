@@ -365,6 +365,16 @@ func (g *Graph) Slots() int { return g.n }
 // vertex is always alive.
 func (g *Graph) Alive(u int) bool { return u >= 0 && u < g.n }
 
+// Epoch returns 0: a finished static graph never changes structure, so
+// the structural-change counter is constant. With Epoch and EpochOf,
+// *Graph satisfies sim.Topology outright — sim.New dispatches on the
+// concrete type to keep the static fast path — and any topology-generic
+// code treats a static graph as a network that never churns.
+func (g *Graph) Epoch() uint64 { return 0 }
+
+// EpochOf returns 0: no slot's neighborhood ever changes after Finish.
+func (g *Graph) EpochOf(int) uint64 { return 0 }
+
 // AppendNeighbors appends u's neighbor multiset to buf and returns the
 // extended slice, in adjacency order — the allocation-free counterpart
 // of Neighbors, matching sim.Topology's accessor.

@@ -17,7 +17,7 @@ package graph
 //
 // The method set matches sim.Topology and byzantine.Substrate
 // structurally (the graph package cannot import sim — sim imports
-// graph), so an implicit topology drops into sim.NewTopologyEngine and
+// graph), so an implicit topology drops into sim.New and
 // the placement/adversary layer unchanged. Epoch is constant 0: the
 // topology never mutates, so engines resolve each vertex once and the
 // resolved adjacency stays valid forever.

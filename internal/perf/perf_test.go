@@ -11,7 +11,7 @@ import (
 // the workload BENCH.json records as engine/flood/serial — must report
 // zero steady-state allocations per round after its warm-up.
 func TestMeasureFloodSteadyStateAllocFree(t *testing.T) {
-	b := floodBenchmark("engine/flood/serial/test", 256, 8, 1, 20*time.Millisecond)
+	b := floodBenchmark("engine/flood/serial/test", 256, 8, 1, "", 20*time.Millisecond)
 	// Warm past the next MessagesByRound capacity boundary (2048): the
 	// calibration ladder adds at most 255 rounds, so every timed run
 	// stays within reserved capacity and must allocate nothing at all.
@@ -58,12 +58,12 @@ func TestMeasureCalibrates(t *testing.T) {
 
 // TestSuiteShape: the suite covers the engine micro-benchmarks
 // (static, churn, and churn-byz), the graph substrate workloads
-// (build-hnd, build-ws, build-regular, bfs), and all eighteen
+// (build-hnd, build-ws, build-regular, bfs), and all twenty
 // experiments; names are unique, and the filter selects by substring.
 func TestSuiteShape(t *testing.T) {
 	suite := Suite(SuiteConfig{Quick: true})
-	if len(suite) != 12+18 {
-		t.Fatalf("suite has %d benchmarks, want 30", len(suite))
+	if len(suite) != 15+20 {
+		t.Fatalf("suite has %d benchmarks, want 35", len(suite))
 	}
 	seen := map[string]bool{}
 	experiments := 0
@@ -79,8 +79,8 @@ func TestSuiteShape(t *testing.T) {
 			}
 		}
 	}
-	if experiments != 18 {
-		t.Errorf("suite has %d experiment benchmarks, want 18", experiments)
+	if experiments != 20 {
+		t.Errorf("suite has %d experiment benchmarks, want 20", experiments)
 	}
 	if !seen["engine/flood/serial/n=1024"] {
 		t.Error("suite is missing engine/flood/serial/n=1024")
@@ -96,6 +96,9 @@ func TestSuiteShape(t *testing.T) {
 	}
 	if !seen["engine/churn-byz/serial/n=1024"] {
 		t.Error("suite is missing engine/churn-byz/serial/n=1024")
+	}
+	if !seen["engine/vt-flood/jitter/serial/n=1024"] {
+		t.Error("suite is missing engine/vt-flood/jitter/serial/n=1024")
 	}
 	filtered := Suite(SuiteConfig{Quick: true, Filter: "engine/flood"})
 	if len(filtered) != 3 {

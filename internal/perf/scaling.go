@@ -65,7 +65,7 @@ func NewLatticeFloodEngine(n, k, workers int) (*sim.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.NewTopologyEngine(lat, 5)
+	eng := sim.New(lat, sim.WithSeed(5))
 	eng.SetParallelism(workers)
 	procs := make([]sim.Proc, n)
 	for v := range procs {

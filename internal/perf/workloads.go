@@ -52,18 +52,42 @@ func (*FloodProc) Halted() bool { return false }
 // NewFloodEngine builds the flood workload over H(n,d): one engine,
 // one FloodProc per vertex, the given worker count.
 func NewFloodEngine(n, d, workers int) (*sim.Engine, error) {
+	return NewVTFloodEngine(n, d, workers, "")
+}
+
+// NewVTFloodEngine is NewFloodEngine with a delay-model spec (see
+// sim.ParseDelayModel): the event-queue throughput workload. The empty
+// spec keeps the legacy synchronous path, "unit" exercises the
+// virtual-time scheduler in its degenerate configuration, and a jitter
+// spec like "uniform:1-4" measures the calendar-queue ring under real
+// reordering — the configurations the engine/vt-flood/* trajectory
+// entries and the TestSteadyStateAllocsVT* gates record.
+func NewVTFloodEngine(n, d, workers int, delaySpec string) (*sim.Engine, error) {
 	g, err := graph.HND(n, d, xrand.New(4))
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine(g, 5)
-	eng.SetParallelism(workers)
+	delay, err := sim.ParseDelayModel(delaySpec)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.New(g,
+		sim.WithSeed(5),
+		sim.WithParallelism(workers),
+		sim.WithDelayModel(delay))
 	procs := make([]sim.Proc, g.N())
 	for v := range procs {
 		procs[v] = &FloodProc{}
 	}
 	if err := eng.Attach(procs); err != nil {
 		return nil, err
+	}
+	// One message per edge per round bounds simultaneous arrivals at a
+	// (ring slot, vertex) row by in-degree x max delay; reserving it
+	// keeps warm rounds strictly allocation-free (see
+	// sim.Engine.ReserveInbox).
+	if delay != nil {
+		eng.ReserveInbox(d * delay.MaxDelay())
 	}
 	return eng, nil
 }
@@ -232,14 +256,16 @@ func churnFloodBenchmark(name string, n, d, workers, perRound int, minTime time.
 // workload; one iteration is one round. Warmup puts every arena and
 // scratch buffer at its high-water mark, so allocs_per_op records the
 // steady state (0 for the serial engine; the parallel engine amortizes
-// its constant per-Run pool startup across the calibrated rounds).
-func floodBenchmark(name string, n, d, workers int, minTime time.Duration) Benchmark {
+// its constant per-Run pool startup across the calibrated rounds). A
+// non-empty delaySpec runs the same flood on the virtual-time
+// scheduler — the event-queue throughput lane.
+func floodBenchmark(name string, n, d, workers int, delaySpec string, minTime time.Duration) Benchmark {
 	return Benchmark{
 		Name:    name,
 		Warmup:  64,
 		MinTime: minTime,
 		Setup: func() (func(int) (Totals, error), error) {
-			eng, err := NewFloodEngine(n, d, workers)
+			eng, err := NewVTFloodEngine(n, d, workers, delaySpec)
 			if err != nil {
 				return nil, err
 			}
@@ -331,7 +357,7 @@ func congestBenchmark(minTime time.Duration) Benchmark {
 			return func(iters int) (Totals, error) {
 				var tot Totals
 				for i := 0; i < iters; i++ {
-					eng := sim.NewEngine(g, uint64(i))
+					eng := sim.New(g, sim.WithSeed(uint64(i)))
 					procs := make([]sim.Proc, g.N())
 					for v := range procs {
 						procs[v] = counting.NewCongestProc(params)
@@ -383,6 +409,8 @@ func experimentBenchmark(id string, quick bool) Benchmark {
 
 // Suite returns the standard benchmark suite: the engine flood
 // micro-benchmarks (serial, pinned-8-worker, and GOMAXPROCS-worker
+// parallel), the vt-flood micro-benchmarks (the virtual-time event
+// queue: degenerate unit latency and uniform:1-4 jitter, serial and
 // parallel), the churn flood micro-benchmarks (serial and pinned-worker
 // — the dynamic-membership path), the churn-byz micro-benchmarks
 // (membership turnover with a maintained Byzantine fraction spamming —
@@ -398,10 +426,14 @@ func Suite(cfg SuiteConfig) []Benchmark {
 		micro = 150 * time.Millisecond
 	}
 	benchmarks := []Benchmark{
-		floodBenchmark("engine/flood/serial/n=1024", 1024, 8, 1, micro),
-		floodBenchmark(fmt.Sprintf("engine/flood/parallel=%d/n=1024", workers), 1024, 8, workers, micro),
+		floodBenchmark("engine/flood/serial/n=1024", 1024, 8, 1, "", micro),
+		floodBenchmark(fmt.Sprintf("engine/flood/parallel=%d/n=1024", workers), 1024, 8, workers, "", micro),
 		floodBenchmark(fmt.Sprintf("engine/flood/gomaxprocs=%d/n=1024", runtime.GOMAXPROCS(0)),
-			1024, 8, runtime.GOMAXPROCS(0), micro),
+			1024, 8, runtime.GOMAXPROCS(0), "", micro),
+		floodBenchmark("engine/vt-flood/unit/serial/n=1024", 1024, 8, 1, "unit", micro),
+		floodBenchmark("engine/vt-flood/jitter/serial/n=1024", 1024, 8, 1, "uniform:1-4", micro),
+		floodBenchmark(fmt.Sprintf("engine/vt-flood/jitter/parallel=%d/n=1024", workers),
+			1024, 8, workers, "uniform:1-4", micro),
 		churnFloodBenchmark("engine/churn-flood/serial/n=1024", 1024, 8, 1, 2, micro),
 		churnFloodBenchmark(fmt.Sprintf("engine/churn-flood/parallel=%d/n=1024", workers),
 			1024, 8, workers, 2, micro),

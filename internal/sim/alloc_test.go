@@ -161,6 +161,64 @@ func TestSteadyStateAllocsChurnByzParallel(t *testing.T) {
 	}
 }
 
+// warmVTFloodEngine returns the flood engine on the virtual-time
+// scheduler under uniform:1-4 jitter, warmed like warmFloodEngine.
+// Jitter spreads each round's traffic over 4 ring slots, so delivery
+// rows would otherwise converge to their high-water marks only
+// asymptotically; NewVTFloodEngine reserves the in-degree x max-delay
+// arrival bound up front (sim.Engine.ReserveInbox), which makes the
+// strict zero-allocation budget below attainable at the same warm-up
+// the synchronous gates use.
+func warmVTFloodEngine(t *testing.T, workers int) *sim.Engine {
+	t.Helper()
+	eng, err := perf.NewVTFloodEngine(1024, 8, workers, "uniform:1-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(1300); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestSteadyStateAllocsVTSerial: the event-queue gate — a warm serial
+// virtual-time round (ring delivery, per-sender latency draws included)
+// allocates nothing, strictly. Same budget as the synchronous engine.
+func TestSteadyStateAllocsVTSerial(t *testing.T) {
+	eng := warmVTFloodEngine(t, 1)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := eng.Run(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("serial steady-state virtual-time round allocates: %.1f allocs/round, want 0", allocs)
+	}
+}
+
+// TestSteadyStateAllocsVTParallel: the same budget under the sharded
+// engine — per-(worker, shard, ring-slot) buckets at high water, merges
+// included — modulo the constant per-Run pool startup.
+func TestSteadyStateAllocsVTParallel(t *testing.T) {
+	eng := warmVTFloodEngine(t, 8)
+	measure := func(rounds int) float64 {
+		return testing.AllocsPerRun(1, func() {
+			if _, err := eng.Run(rounds); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := measure(20)
+	long := measure(120)
+	if delta := long - short; delta != 0 {
+		t.Errorf("parallel virtual-time rounds allocate: %d rounds cost %.0f allocs, %d rounds cost %.0f (delta %.0f, want 0)",
+			20, short, 120, long, delta)
+	}
+	if short >= 20 {
+		t.Errorf("pool startup costs %.0f allocs, which is >= 1 per round over 20 rounds", short)
+	}
+}
+
 // TestSteadyStateAllocsParallel: with SetParallelism(8), allocations
 // must not scale with the number of rounds executed. Each Run call pays
 // a constant pool-startup cost (one goroutine spawn per worker); the

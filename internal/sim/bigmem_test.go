@@ -57,7 +57,7 @@ func TestBigImplicitLatticeResolution(t *testing.T) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	eng := sim.NewTopologyEngine(lat, 7)
+	eng := sim.New(lat, sim.WithSeed(7))
 	runtime.ReadMemStats(&after)
 	consBytes := after.TotalAlloc - before.TotalAlloc
 	t.Logf("construction: %d MB, %d allocs",
@@ -99,7 +99,7 @@ func TestBigImplicitLatticeFlood(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := sim.NewTopologyEngine(lat, 7)
+	eng := sim.New(lat, sim.WithSeed(7))
 	procs := make([]sim.Proc, n)
 	shared := &bigFloodProc{}
 	for v := range procs {

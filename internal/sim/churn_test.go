@@ -270,7 +270,7 @@ func TestChurnValidateEveryRound(t *testing.T) {
 // neighbors' cached NeighborIDs are patched in place.
 func TestDetachAttachLifecycle(t *testing.T) {
 	g := mustHND(t, 32, 4, 5001)
-	eng := sim.NewEngine(g, 5002)
+	eng := sim.New(g, sim.WithSeed(5002))
 	procs := make([]sim.Proc, 32)
 	for v := range procs {
 		procs[v] = &perf.FloodProc{}

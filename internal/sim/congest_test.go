@@ -32,7 +32,7 @@ func TestEdgeCapacityAdmitsSmallMessages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := NewEngine(g, 1)
+	e := New(g, WithSeed(1))
 	e.SetEdgeCapacity(512)
 	recv := &chattyProc{bits: 0, count: 0}
 	procs := []Proc{&chattyProc{bits: 400, count: 1}, recv}
@@ -57,7 +57,7 @@ func TestEdgeCapacityDropsOversized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := NewEngine(g, 1)
+	e := New(g, WithSeed(1))
 	e.SetEdgeCapacity(512)
 	recv := &chattyProc{}
 	procs := []Proc{&chattyProc{bits: 4096, count: 1}, recv}
@@ -82,7 +82,7 @@ func TestEdgeCapacityBudgetIsPerEdgePerRound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := NewEngine(g, 1)
+	e := New(g, WithSeed(1))
 	e.SetEdgeCapacity(512)
 	recv := &chattyProc{}
 	// Three 200-bit messages per round on one edge: two fit, one is capped.
@@ -113,7 +113,7 @@ func TestEdgeCapacityZeroMeansLocalModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := NewEngine(g, 1)
+	e := New(g, WithSeed(1))
 	recv := &chattyProc{}
 	procs := []Proc{&chattyProc{bits: 1 << 20, count: 4}, recv}
 	if err := e.Attach(procs); err != nil {

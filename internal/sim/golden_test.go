@@ -38,7 +38,7 @@ func mustHND(t *testing.T, n, d int, seed uint64) *graph.Graph {
 func runScenario(t *testing.T, g *graph.Graph, seed uint64, workers, maxRounds int,
 	capBits int, build func(eng *sim.Engine) []sim.Proc) (sim.Metrics, []counting.Outcome, int) {
 	t.Helper()
-	eng := sim.NewEngine(g, seed)
+	eng := sim.New(g, sim.WithSeed(seed))
 	eng.SetParallelism(workers)
 	if capBits > 0 {
 		eng.SetEdgeCapacity(capBits)
@@ -171,7 +171,7 @@ func TestParallelStopConditionAndHalt(t *testing.T) {
 	g := mustHND(t, n, d, 3001)
 	params := counting.DefaultCongestParams(d)
 	run := func(workers int, stopAt int) (int, sim.Metrics) {
-		eng := sim.NewEngine(g, 9)
+		eng := sim.New(g, sim.WithSeed(9))
 		eng.SetParallelism(workers)
 		procs := make([]sim.Proc, n)
 		for v := range procs {

@@ -84,9 +84,9 @@ func TestImplicitRingLatticeEngineByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refDigest, refMetrics := latticeTranscript(t, sim.NewEngine(mat, 7), n, 2*k, 1)
+	refDigest, refMetrics := latticeTranscript(t, sim.New(mat, sim.WithSeed(7)), n, 2*k, 1)
 	for _, w := range []int{1, 4} {
-		got, m := latticeTranscript(t, sim.NewTopologyEngine(lat, 7), n, 2*k, w)
+		got, m := latticeTranscript(t, sim.New(lat, sim.WithSeed(7)), n, 2*k, w)
 		if got != refDigest {
 			t.Errorf("workers=%d: implicit digest %s != materialized %s", w, got, refDigest)
 		}
@@ -107,9 +107,9 @@ func TestImplicitTorusEngineByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := grid.N()
-	refDigest, refMetrics := latticeTranscript(t, sim.NewEngine(mat, 7), n, 4, 1)
+	refDigest, refMetrics := latticeTranscript(t, sim.New(mat, sim.WithSeed(7)), n, 4, 1)
 	for _, w := range []int{1, 4} {
-		got, m := latticeTranscript(t, sim.NewTopologyEngine(grid, 7), n, 4, w)
+		got, m := latticeTranscript(t, sim.New(grid, sim.WithSeed(7)), n, 4, w)
 		if got != refDigest {
 			t.Errorf("workers=%d: implicit digest %s != materialized %s", w, got, refDigest)
 		}

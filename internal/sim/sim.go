@@ -12,13 +12,23 @@
 // decisions, and metrics are byte-for-byte identical to the serial
 // engine (see round ordering notes on roundParallel).
 //
-// The network may be static (NewEngine over a graph.Graph — the
-// zero-overhead fast path) or mutable (NewTopologyEngine over a
-// Topology): a mutable topology is epoch-stamped, neighborhoods are
-// re-resolved into per-vertex buffers only when the epoch changes, and
-// membership turns over at round boundaries via Detach/AttachAt with
-// slot recycling, so churn runs share the static engine's
-// allocation-free steady state and its serial/parallel bit-equality.
+// The network may be static (a graph.Graph — the zero-overhead fast
+// path) or mutable (any other Topology): a mutable topology is
+// epoch-stamped, neighborhoods are re-resolved into per-vertex buffers
+// only when the epoch changes, and membership turns over at round
+// boundaries via Detach/AttachAt with slot recycling, so churn runs
+// share the static engine's allocation-free steady state and its
+// serial/parallel bit-equality. New is the constructor for both cases;
+// functional options select seed, parallelism, edge capacity, and
+// delivery models.
+//
+// Partial synchrony is a configuration, not a different engine: with a
+// DelayModel (and/or FaultModel) installed, Run schedules every
+// admitted message into a calendar-queue delivery ring on virtual time,
+// keyed on (deliver tick, sender slot, per-sender send sequence), with
+// latency drawn from per-sender split streams — see delay.go for the
+// determinism argument. The unit-latency model degenerates to exactly
+// the synchronous engine, byte for byte.
 package sim
 
 import (
@@ -188,12 +198,17 @@ func (e *Env) Rand() *xrand.Rand {
 	return e.rand
 }
 
-// WithRand returns a copy of the env using rng as its private stream —
-// the constructor for standalone envs in tests and examples. Engine
-// slots derive their stream from the engine seed instead.
-func (e Env) WithRand(rng *xrand.Rand) *Env {
-	e.rand = rng
-	return &e
+// WithRand returns a pointer to a copy of the env using rng as its
+// private stream — the constructor for standalone envs in tests and
+// examples. The receiver is never mutated: the copy shares the
+// receiver's slices (Neighbors, NeighborIDs, scratch) but replaces the
+// stream, so an engine-owned env passed through WithRand keeps its own
+// lazily-derived stream. Engine slots derive theirs from the engine
+// seed instead.
+func (e *Env) WithRand(rng *xrand.Rand) *Env {
+	c := *e
+	c.rand = rng
+	return &c
 }
 
 // Scratch returns the env's reusable outgoing buffer truncated to zero
@@ -259,6 +274,7 @@ type Metrics struct {
 	MaxMsgBits    int   // largest single payload
 	Violations    int64 // messages addressed to non-neighbors (dropped)
 	Capped        int64 // messages dropped by the CONGEST edge capacity
+	Dropped       int64 // messages lost to the fault model (admitted, never delivered)
 	PerNodeMaxBit []int // per-vertex largest payload sent
 	// MessagesByRound[r] is the number of messages sent in round r — the
 	// per-round traffic series that makes Algorithm 2's phase structure
@@ -301,10 +317,18 @@ type workerState struct {
 	// only its own messages instead of scanning everyone's.
 	buckets [][]routed
 
+	// vtb[s*window+slot] is the virtual-time analogue of buckets:
+	// admitted messages destined for shard s and ring slot `slot`, in
+	// ascending sender order. Buckets are merged into the ring EVERY
+	// round (not at the delivery tick), so each ring row accumulates
+	// messages round-major, sender-major — exactly the serial schedule.
+	vtb [][]routed
+
 	messages   int64
 	bits       int64
 	violations int64
 	capped     int64
+	dropped    int64
 	maxMsgBits int
 	allHalted  bool
 }
@@ -382,6 +406,38 @@ type Engine struct {
 	// []map[int]bool, whose per-vertex maps dominated setup memory).
 	sortedAdj [][]int32
 
+	// --- virtual time ---
+	// delay/fault select the virtual-time scheduler: when either is
+	// non-nil, Run schedules admitted messages into the delivery ring
+	// below instead of the cur/next double buffer. Configure both before
+	// the first Run (SetDelayModel/SetFaultModel).
+	delay DelayModel
+	fault FaultModel
+	// window is the ring length: the delay model's MaxDelay()+1, at
+	// least 2, so an in-flight message's slot (tick+d) mod window never
+	// collides with the slot currently being delivered.
+	window int
+	// ring[s][v] is vertex v's inbox for virtual ticks ≡ s (mod window)
+	// — the calendar-queue generalization of the cur/next double buffer
+	// (window == 2 with unit latency degenerates to exactly that
+	// structure). Rows are truncated after delivery, never freed, so
+	// each row stays at its high-water capacity and steady-state
+	// virtual-time rounds allocate nothing.
+	ring [][][]Incoming
+	// delayRng[v] / faultRng[v] are v's private latency/fault streams
+	// (pure functions of the engine seed and v), derived lazily on v's
+	// first draw. Only models that draw get streams at all (see
+	// DelayModel.Draws) — a stream's state is ~5KiB, and the unit model
+	// must consume exactly the streams the legacy engine does.
+	delayRng []*xrand.Rand
+	faultRng []*xrand.Rand
+	// tick is the absolute virtual tick of the round being executed —
+	// the engine's total executed rounds, not Run's local round index —
+	// published to pool workers via dispatch. Ring indexing and the
+	// models' round argument use it so in-flight messages stay aligned
+	// across consecutive Run calls.
+	tick int
+
 	// --- parallel mode ---
 	workers int            // requested Step-shard workers; <=1 means serial
 	ranges  [][2]int       // contiguous vertex ranges, one per worker
@@ -414,6 +470,8 @@ const (
 	phaseStepScan                      // step range into per-vertex outboxes (Sequential fallback)
 	phaseMergeBuckets                  // merge this worker's destination shard from buckets
 	phaseMergeScan                     // merge this worker's destination range from outboxes
+	phaseStepVT                        // step contiguous range into per-(shard, ring-slot) buckets
+	phaseMergeVT                       // merge this worker's destination shard into the ring
 	phaseExit                          // unwind the worker goroutine
 )
 
@@ -421,7 +479,30 @@ const (
 // not equal the number of graph vertices.
 var ErrSizeMismatch = errors.New("sim: process count does not match vertex count")
 
-// NewEngine creates an engine over the static graph g. Node IDs and
+// ErrSequentialVirtualTime is returned by Run when Sequential processes
+// are attached to a parallel virtual-time engine. The sequential pass
+// steps scattered vertices on one extra goroutine; interleaving its
+// sends into the per-shard ring buckets in exact sender order would
+// serialize the merge, so the combination is rejected rather than
+// supported slowly — run such scenarios serially (the serial
+// virtual-time engine handles Sequential processes fine).
+var ErrSequentialVirtualTime = errors.New("sim: Sequential processes require serial execution under virtual time")
+
+// NewEngine creates an engine over the static graph g.
+//
+// Deprecated: use New(g, WithSeed(seed)) — New dispatches to the same
+// static fast path. This wrapper exists so PR-7 callers migrate
+// incrementally and will be deleted in the next PR.
+func NewEngine(g *graph.Graph, seed uint64) *Engine { return newStaticEngine(g, seed) }
+
+// NewTopologyEngine creates an engine over a mutable topology.
+//
+// Deprecated: use New(topo, WithSeed(seed)) — New dispatches on the
+// concrete topology type. This wrapper exists so PR-7 callers migrate
+// incrementally and will be deleted in the next PR.
+func NewTopologyEngine(topo Topology, seed uint64) *Engine { return newTopologyEngine(topo, seed) }
+
+// newStaticEngine builds the engine over a static graph. Node IDs and
 // per-node random streams derive from seed; vertex v's stream is
 // independent of all others.
 //
@@ -435,7 +516,7 @@ var ErrSizeMismatch = errors.New("sim: process count does not match vertex count
 // Static engines never mutate those rows, so aliasing an immutable
 // (possibly cache-shared) graph is safe; topology engines re-resolve
 // into private buffers instead.
-func NewEngine(g *graph.Graph, seed uint64) *Engine {
+func newStaticEngine(g *graph.Graph, seed uint64) *Engine {
 	e := newEngine(g.N(), seed)
 	e.g = g
 	for v := 0; v < e.n; v++ {
@@ -464,9 +545,9 @@ func NewEngine(g *graph.Graph, seed uint64) *Engine {
 	return e
 }
 
-// NewTopologyEngine creates an engine over a mutable topology. IDs are
+// newTopologyEngine builds the engine over a mutable topology. IDs are
 // assigned to the initially alive slots in ascending slot order from the
-// same seed-derived stream NewEngine uses; vacant slots receive an ID
+// same seed-derived stream the static path uses; vacant slots receive an ID
 // (and a process) only when a joiner arrives via AttachAt. Neighborhoods
 // are resolved lazily against the topology's epoch, so construction does
 // not walk adjacency at all.
@@ -479,7 +560,7 @@ func NewEngine(g *graph.Graph, seed uint64) *Engine {
 // allocations per slot on a million-slot first round. Degrees are a
 // hint, not a contract: a slot that later outgrows its carve migrates
 // to a private buffer on append, so mutable topologies stay correct.
-func NewTopologyEngine(topo Topology, seed uint64) *Engine {
+func newTopologyEngine(topo Topology, seed uint64) *Engine {
 	e := newEngine(topo.Slots(), seed)
 	e.topo = topo
 	e.epochOf = make([]uint64, e.n)
@@ -600,6 +681,12 @@ func (e *Engine) Detach(v int) error {
 	e.procs[v] = nil
 	e.cur[v] = e.cur[v][:0]
 	e.next[v] = e.next[v][:0]
+	// Under virtual time pending deliveries live in the ring, up to
+	// window-1 ticks out; drop them all (the departed node never sees
+	// them, matching the synchronous convention).
+	for s := range e.ring {
+		e.ring[s][v] = e.ring[s][v][:0]
+	}
 	if e.isSeq != nil && e.isSeq[v] {
 		e.isSeq[v] = false
 		if i := slices.Index(e.seq, v); i >= 0 {
@@ -646,6 +733,9 @@ func (e *Engine) AttachAt(v int, id NodeID, p Proc) error {
 	env.ID = id
 	e.cur[v] = e.cur[v][:0]
 	e.next[v] = e.next[v][:0]
+	for s := range e.ring {
+		e.ring[s][v] = e.ring[s][v][:0]
+	}
 	e.procs[v] = p
 	e.hookAttached = true
 	if _, ok := p.(Sequential); ok {
@@ -720,6 +810,17 @@ func (e *Engine) growTo(m int) {
 			e.isSeq = append(e.isSeq, false)
 		}
 	}
+	for s := range e.ring {
+		for len(e.ring[s]) < m {
+			e.ring[s] = append(e.ring[s], nil)
+		}
+	}
+	for len(e.delayRng) > 0 && len(e.delayRng) < m {
+		e.delayRng = append(e.delayRng, nil)
+	}
+	for len(e.faultRng) > 0 && len(e.faultRng) < m {
+		e.faultRng = append(e.faultRng, nil)
+	}
 	e.n = m
 	e.regrow = true
 }
@@ -780,6 +881,69 @@ func (e *Engine) SetStopCondition(stop func(round int) bool) { e.stop = stop }
 func (e *Engine) SetEdgeCapacity(bits int) {
 	e.edgeCapBits = bits
 }
+
+// SetDelayModel installs a delivery-latency model, switching Run to the
+// virtual-time scheduler; nil restores the synchronous default.
+// Configure before the first Run: changing the model re-sizes the
+// delivery ring, and messages still in flight do not survive that.
+func (e *Engine) SetDelayModel(m DelayModel) {
+	e.delay = m
+	e.ws = nil // ring and buckets are (re)built by ensureState
+	e.ring = nil
+	e.window = 0
+}
+
+// DelayModel returns the installed delivery-latency model (nil =
+// synchronous).
+func (e *Engine) DelayModel() DelayModel { return e.delay }
+
+// SetFaultModel installs a message-fault model, switching Run to the
+// virtual-time scheduler; nil removes it. Like SetDelayModel, configure
+// before the first Run.
+func (e *Engine) SetFaultModel(m FaultModel) {
+	e.fault = m
+	e.ws = nil
+	e.ring = nil
+	e.window = 0
+}
+
+// FaultModel returns the installed message-fault model (nil = none).
+func (e *Engine) FaultModel() FaultModel { return e.fault }
+
+// ReserveInbox pre-sizes every virtual-time delivery row to hold perRow
+// messages without growing. Under a jittered delay model the per-(slot,
+// vertex) delivery load is stochastic, so row capacities converge to
+// their high-water marks only asymptotically — long steady-state runs
+// keep paying rare amortized regrowth. A workload that knows a bound on
+// simultaneous arrivals (for one message per edge per round: in-degree
+// times the maximum delay) can reserve it up front and make warm rounds
+// strictly allocation-free, which is what the perf workloads behind the
+// TestSteadyStateAllocsVT* gates do. No-op outside virtual-time mode;
+// rows already at capacity perRow or above are left alone.
+func (e *Engine) ReserveInbox(perRow int) {
+	if perRow <= 0 || !e.vtMode() || e.procs == nil {
+		return
+	}
+	e.ensureState()
+	for s := range e.ring {
+		slot := e.ring[s]
+		var slab []Incoming
+		for v := range slot {
+			if cap(slot[v]) >= perRow {
+				continue
+			}
+			if slab == nil {
+				slab = make([]Incoming, 0, len(slot)*perRow)
+			}
+			row := slab[len(slab) : len(slab) : len(slab)+perRow]
+			slab = slab[:len(slab)+perRow]
+			slot[v] = append(row, slot[v]...)
+		}
+	}
+}
+
+// vtMode reports whether Run uses the virtual-time scheduler.
+func (e *Engine) vtMode() bool { return e.delay != nil || e.fault != nil }
 
 // SetParallelism sets the number of Step-shard workers used by Run.
 // Values <= 1 select the serial engine. Parallel execution is
@@ -913,6 +1077,79 @@ func (e *Engine) ensureState() {
 			e.acc = make([][]routed, n)
 		}
 	}
+	if e.vtMode() {
+		e.ensureVT()
+		if w > 1 {
+			for _, ws := range e.ws {
+				ws.vtb = make([][]routed, w*e.window)
+			}
+		}
+	}
+}
+
+// ensureVT builds (or re-sizes after growth) the virtual-time state:
+// the delivery ring — window per-vertex inbox arrays — and, for models
+// that draw, the per-sender stream tables (streams themselves derive
+// lazily on first draw).
+func (e *Engine) ensureVT() {
+	w := 2
+	if e.delay != nil {
+		if d := e.delay.MaxDelay(); d >= 1 {
+			w = d + 1
+		}
+	}
+	e.window = w
+	if len(e.ring) != w {
+		e.ring = make([][][]Incoming, w)
+	}
+	for s := range e.ring {
+		if e.ring[s] == nil {
+			e.ring[s] = make([][]Incoming, e.n)
+		}
+		for len(e.ring[s]) < e.n {
+			e.ring[s] = append(e.ring[s], nil)
+		}
+	}
+	if e.delay != nil && e.delay.Draws() && len(e.delayRng) < e.n {
+		grown := make([]*xrand.Rand, e.n)
+		copy(grown, e.delayRng)
+		e.delayRng = grown
+	}
+	if e.fault != nil && e.fault.Draws() && len(e.faultRng) < e.n {
+		grown := make([]*xrand.Rand, e.n)
+		copy(grown, e.faultRng)
+		e.faultRng = grown
+	}
+}
+
+// delayStream returns sender v's private latency stream, deriving it on
+// first use (a pure function of the engine seed and v, so when it is
+// derived changes nothing). Returns nil when the model never draws.
+// Race-free in parallel rounds: v's entry is only touched by the worker
+// owning v.
+func (e *Engine) delayStream(v int) *xrand.Rand {
+	if e.delayRng == nil {
+		return nil
+	}
+	s := e.delayRng[v]
+	if s == nil {
+		s = e.root.SplitN("delay", v)
+		e.delayRng[v] = s
+	}
+	return s
+}
+
+// faultStream is delayStream's fault-model counterpart.
+func (e *Engine) faultStream(v int) *xrand.Rand {
+	if e.faultRng == nil {
+		return nil
+	}
+	s := e.faultRng[v]
+	if s == nil {
+		s = e.root.SplitN("fault", v)
+		e.faultRng[v] = s
+	}
+	return s
 }
 
 // flushRound folds every worker's per-round accumulators into Metrics
@@ -927,10 +1164,11 @@ func (e *Engine) flushRound() int64 {
 		e.metrics.Bits += ws.bits
 		e.metrics.Violations += ws.violations
 		e.metrics.Capped += ws.capped
+		e.metrics.Dropped += ws.dropped
 		if ws.maxMsgBits > e.metrics.MaxMsgBits {
 			e.metrics.MaxMsgBits = ws.maxMsgBits
 		}
-		ws.messages, ws.bits, ws.violations, ws.capped, ws.maxMsgBits = 0, 0, 0, 0, 0
+		ws.messages, ws.bits, ws.violations, ws.capped, ws.dropped, ws.maxMsgBits = 0, 0, 0, 0, 0, 0
 	}
 	return roundMsgs
 }
@@ -1024,6 +1262,120 @@ func (e *Engine) roundSerial(r int) bool {
 	return allHalted
 }
 
+// roundSerialVT executes one virtual-time round on the calling
+// goroutine. It is roundSerial with the double buffer replaced by the
+// delivery ring: tick t's inbox is ring[t mod window], and an admitted
+// message drawn delay d lands in ring[(t+d) mod window]. Two extra
+// per-message stages slot in between the legacy ones, in a fixed order
+// that the parallel round reproduces exactly:
+//
+//	neighbor check -> capacity budget -> fault verdict -> latency draw
+//
+// A faulted message has consumed edge capacity (the sender spent the
+// edge) but is counted in Dropped, not Messages, and does not advance
+// the latency stream. Draws happen in send order on the sender's
+// private streams, so the schedule is a pure function of the seed.
+func (e *Engine) roundSerialVT(r int) bool {
+	n := e.n
+	ws := e.ws[0]
+	capBits := e.edgeCapBits
+	if capBits > 0 && ws.budget == nil {
+		ws.budget = make([]int, n)
+		ws.budgetGen = make([]uint64, n)
+	}
+	if ws.nbrMark == nil {
+		ws.nbrMark = make([]uint64, n)
+	}
+	nbrMark := ws.nbrMark
+	perNodeMax := e.metrics.PerNodeMaxBit
+	dyn := e.topo != nil
+	tick := e.metrics.Rounds
+	e.tick = tick
+	window := e.window
+	box := e.ring[tick%window]
+	allHalted := true
+	for v := 0; v < n; v++ {
+		p := e.procs[v]
+		if p == nil || p.Halted() {
+			box[v] = box[v][:0]
+			continue
+		}
+		allHalted = false
+		if dyn && e.epochOf[v] != e.curEpoch {
+			e.catchUpVertex(v)
+		}
+		out := p.Step(&e.envs[v], r, box[v])
+		box[v] = box[v][:0]
+		if len(out) == 0 {
+			continue
+		}
+		ws.gen++
+		gen := ws.gen
+		for _, w := range e.sortedAdj[v] {
+			nbrMark[w] = gen
+		}
+		fromID := e.ids[v]
+		maxSent := perNodeMax[v]
+		var msgs, totalBits int64
+		for _, msg := range out {
+			to, payload := msg.To, msg.Payload
+			if uint(to) >= uint(n) || nbrMark[to] != gen {
+				ws.violations++
+				continue
+			}
+			bits := 0
+			if payload != nil {
+				bits = payload.SizeBits()
+			}
+			if capBits > 0 {
+				if ws.budgetGen[to] != gen {
+					ws.budgetGen[to] = gen
+					ws.budget[to] = 0
+				}
+				if ws.budget[to]+bits > capBits {
+					ws.capped++
+					continue
+				}
+				ws.budget[to] += bits
+			}
+			if e.fault != nil && e.fault.Drop(e.faultStream(v), tick, v, to) {
+				ws.dropped++
+				continue
+			}
+			d := 1
+			if e.delay != nil {
+				d = e.delay.Delay(e.delayStream(v), tick, v, to)
+				if d < 1 {
+					d = 1
+				} else if d >= window {
+					d = window - 1
+				}
+			}
+			msgs++
+			totalBits += int64(bits)
+			if bits > ws.maxMsgBits {
+				ws.maxMsgBits = bits
+			}
+			if bits > maxSent {
+				maxSent = bits
+			}
+			dst := e.ring[(tick+d)%window]
+			dst[to] = append(dst[to], Incoming{
+				From:    v,
+				FromID:  fromID,
+				Payload: payload,
+			})
+		}
+		ws.messages += msgs
+		ws.bits += totalBits
+		perNodeMax[v] = maxSent
+		if cap(out) > cap(e.envs[v].scratch) {
+			e.envs[v].scratch = out[:0]
+		}
+	}
+	return allHalted
+}
+
 // stepVertex runs the shared prologue of one parallel step: halt
 // check, Step, inbox truncation, and stamping the sender's neighbors
 // for admission. It returns the vertex's outgoing messages (nil when
@@ -1067,6 +1419,88 @@ func (e *Engine) stepVertexBuckets(v, r int, ws *workerState) {
 			ws.buckets[s] = append(ws.buckets[s],
 				routed{to: int32(msg.To), from: int32(v), payload: msg.Payload})
 		}
+	}
+	if cap(out) > cap(e.envs[v].scratch) {
+		e.envs[v].scratch = out[:0]
+	}
+}
+
+// admitVT runs one message's virtual-time admission pipeline for the
+// parallel round (see admit for the legacy version and roundSerialVT
+// for the stage order): neighbor check and capacity budget exactly as
+// admit, then the fault verdict between the budget charge and the
+// delivery accounting. Every stage is sender-local, so each decision is
+// identical however vertices are scheduled.
+func (e *Engine) admitVT(ws *workerState, v, tick int, msg *Outgoing) bool {
+	if uint(msg.To) >= uint(e.n) || ws.nbrMark[msg.To] != ws.gen {
+		ws.violations++
+		return false
+	}
+	bits := 0
+	if msg.Payload != nil {
+		bits = msg.Payload.SizeBits()
+	}
+	if e.edgeCapBits > 0 {
+		if ws.budget == nil {
+			ws.budget = make([]int, e.n)
+			ws.budgetGen = make([]uint64, e.n)
+		}
+		if ws.budgetGen[msg.To] != ws.gen {
+			ws.budgetGen[msg.To] = ws.gen
+			ws.budget[msg.To] = 0
+		}
+		if ws.budget[msg.To]+bits > e.edgeCapBits {
+			ws.capped++
+			return false
+		}
+		ws.budget[msg.To] += bits
+	}
+	if e.fault != nil && e.fault.Drop(e.faultStream(v), tick, v, msg.To) {
+		ws.dropped++
+		return false
+	}
+	ws.messages++
+	ws.bits += int64(bits)
+	if bits > ws.maxMsgBits {
+		ws.maxMsgBits = bits
+	}
+	if bits > e.metrics.PerNodeMaxBit[v] {
+		e.metrics.PerNodeMaxBit[v] = bits
+	}
+	return true
+}
+
+// drawDelay draws (or computes) the latency of one admitted message,
+// clamped to [1, window-1] so the target slot never collides with the
+// slot being delivered.
+func (e *Engine) drawDelay(v, tick, to int) int {
+	if e.delay == nil {
+		return 1
+	}
+	d := e.delay.Delay(e.delayStream(v), tick, v, to)
+	if d < 1 {
+		d = 1
+	} else if d >= e.window {
+		d = e.window - 1
+	}
+	return d
+}
+
+// stepVertexVT steps one vertex of a parallel virtual-time round,
+// admitting its output into the worker's per-(destination-shard,
+// ring-slot) buckets.
+func (e *Engine) stepVertexVT(v, r int, ws *workerState) {
+	out := e.stepVertex(v, r, ws)
+	tick, window := e.tick, e.window
+	for i := range out {
+		msg := &out[i]
+		if !e.admitVT(ws, v, tick, msg) {
+			continue
+		}
+		d := e.drawDelay(v, tick, msg.To)
+		idx := int(e.shardOf[msg.To])*window + (tick+d)%window
+		ws.vtb[idx] = append(ws.vtb[idx],
+			routed{to: int32(msg.To), from: int32(v), payload: msg.Payload})
 	}
 	if cap(out) > cap(e.envs[v].scratch) {
 		e.envs[v].scratch = out[:0]
@@ -1173,6 +1607,17 @@ func (e *Engine) poolWorker(i int) {
 			if i < w {
 				e.mergeRange(i)
 			}
+		case phaseStepVT:
+			if i < w {
+				ws := e.ws[i]
+				for v := e.ranges[i][0]; v < e.ranges[i][1]; v++ {
+					e.stepVertexVT(v, e.round, ws)
+				}
+			}
+		case phaseMergeVT:
+			if i < w {
+				e.mergeShardVT(i)
+			}
 		}
 		e.poolWG.Done()
 	}
@@ -1192,6 +1637,32 @@ func (e *Engine) mergeShard(s int) {
 			})
 		}
 		e.ws[i].buckets[s] = bucket[:0]
+	}
+}
+
+// mergeShardVT drains every worker's virtual-time buckets for
+// destination shard s into the delivery ring — for each ring slot, in
+// worker order, which is ascending sender order. Because buckets are
+// merged EVERY round rather than held until their delivery tick, each
+// ring row accumulates its messages round-major, sender-major: exactly
+// the order roundSerialVT appends them, so parallel virtual-time
+// delivery is byte-identical to serial.
+func (e *Engine) mergeShardVT(s int) {
+	window := e.window
+	for slot := 0; slot < window; slot++ {
+		box := e.ring[slot]
+		idx := s*window + slot
+		for i := range e.ranges {
+			bucket := e.ws[i].vtb[idx]
+			for _, m := range bucket {
+				box[m.to] = append(box[m.to], Incoming{
+					From:    int(m.from),
+					FromID:  e.ids[m.from],
+					Payload: m.payload,
+				})
+			}
+			e.ws[i].vtb[idx] = bucket[:0]
+		}
 	}
 }
 
@@ -1251,6 +1722,30 @@ func (e *Engine) roundParallel(r int) bool {
 	return allHalted
 }
 
+// roundParallelVT executes one virtual-time round with the sharded
+// worker pool: the step phase admits each range's output into
+// per-(worker, destination-shard, ring-slot) buckets, and the merge
+// phase drains them into the ring (see mergeShardVT for the ordering
+// argument). e.cur is aliased to the tick's ring slot so stepVertex —
+// shared with the legacy parallel round — reads and truncates the right
+// inboxes. Sequential processes are rejected before dispatch (see
+// ErrSequentialVirtualTime), so only the bucket path exists here.
+func (e *Engine) roundParallelVT(r int) bool {
+	e.round = r
+	e.tick = e.metrics.Rounds
+	e.cur = e.ring[e.tick%e.window]
+	for _, ws := range e.ws {
+		ws.allHalted = true
+	}
+	e.dispatch(phaseStepVT)
+	e.dispatch(phaseMergeVT)
+	allHalted := true
+	for _, ws := range e.ws {
+		allHalted = allHalted && ws.allHalted
+	}
+	return allHalted
+}
+
 // Run executes up to maxRounds rounds and returns the number of rounds
 // executed. The run ends early when every process has halted or the stop
 // condition fires. Attach must have been called.
@@ -1288,6 +1783,7 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 		e.metrics.MessagesByRound = grown
 	}
 	parallel := len(e.ranges) > 1
+	vt := e.vtMode()
 	if parallel {
 		e.startPool()
 	}
@@ -1297,15 +1793,31 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 			e.curEpoch = e.topo.Epoch()
 		}
 		var allHalted bool
-		if parallel {
+		switch {
+		case vt:
+			// Checked every round, not just up front: a between-rounds
+			// hook may AttachAt a Sequential process mid-run.
+			if parallel && len(e.seq) > 0 {
+				return r, ErrSequentialVirtualTime
+			}
+			if parallel {
+				allHalted = e.roundParallelVT(r)
+			} else {
+				allHalted = e.roundSerialVT(r)
+			}
+		case parallel:
 			allHalted = e.roundParallel(r)
-		} else {
+		default:
 			allHalted = e.roundSerial(r)
 		}
 		roundMsgs := e.flushRound()
 		e.metrics.Rounds++
 		e.metrics.MessagesByRound = append(e.metrics.MessagesByRound, roundMsgs)
-		e.cur, e.next = e.next, e.cur
+		if !vt {
+			// Virtual time has no swap: the ring advances by tick index
+			// (the next tick's slot already holds its pending messages).
+			e.cur, e.next = e.next, e.cur
+		}
 		if e.betweenRounds != nil {
 			e.hookAttached = false
 			if err := e.betweenRounds(r); err != nil {

@@ -72,7 +72,7 @@ func mustRing(t *testing.T, n int) *graph.Graph {
 
 func TestEngineDistinctIDs(t *testing.T) {
 	g := mustRing(t, 50)
-	e := NewEngine(g, 1)
+	e := New(g, WithSeed(1))
 	seen := make(map[NodeID]bool)
 	for v := 0; v < 50; v++ {
 		id := e.ID(v)
@@ -85,8 +85,8 @@ func TestEngineDistinctIDs(t *testing.T) {
 
 func TestEngineDeterministic(t *testing.T) {
 	g := mustRing(t, 10)
-	a := NewEngine(g, 42)
-	b := NewEngine(g, 42)
+	a := New(g, WithSeed(42))
+	b := New(g, WithSeed(42))
 	for v := 0; v < 10; v++ {
 		if a.ID(v) != b.ID(v) {
 			t.Fatalf("IDs diverge at %d", v)
@@ -96,7 +96,7 @@ func TestEngineDeterministic(t *testing.T) {
 
 func TestVertexOf(t *testing.T) {
 	g := mustRing(t, 5)
-	e := NewEngine(g, 3)
+	e := New(g, WithSeed(3))
 	for v := 0; v < 5; v++ {
 		if got := e.VertexOf(e.ID(v)); got != v {
 			t.Errorf("VertexOf(ID(%d)) = %d", v, got)
@@ -109,7 +109,7 @@ func TestVertexOf(t *testing.T) {
 
 func TestAttachSizeMismatch(t *testing.T) {
 	g := mustRing(t, 4)
-	e := NewEngine(g, 1)
+	e := New(g, WithSeed(1))
 	if err := e.Attach(make([]Proc, 3)); err == nil {
 		t.Fatal("mismatched Attach accepted")
 	}
@@ -117,7 +117,7 @@ func TestAttachSizeMismatch(t *testing.T) {
 
 func TestRunBeforeAttach(t *testing.T) {
 	g := mustRing(t, 4)
-	e := NewEngine(g, 1)
+	e := New(g, WithSeed(1))
 	if _, err := e.Run(10); err == nil {
 		t.Fatal("Run before Attach accepted")
 	}
@@ -125,7 +125,7 @@ func TestRunBeforeAttach(t *testing.T) {
 
 func TestRunNegativeRounds(t *testing.T) {
 	g := mustRing(t, 4)
-	e := NewEngine(g, 1)
+	e := New(g, WithSeed(1))
 	procs := make([]Proc, 4)
 	for i := range procs {
 		procs[i] = &counterProc{}
@@ -142,7 +142,7 @@ func TestMaxValueFloodConverges(t *testing.T) {
 	// Classic flood: the global max must reach every node in <= diameter
 	// rounds; engine must then detect global halt.
 	g := mustRing(t, 16)
-	e := NewEngine(g, 7)
+	e := New(g, WithSeed(7))
 	procs := make([]Proc, 16)
 	floods := make([]*floodProc, 16)
 	for v := range procs {
@@ -170,7 +170,7 @@ func TestMaxValueFloodConverges(t *testing.T) {
 func TestDeliveryNextRound(t *testing.T) {
 	// A message sent in round 0 must arrive in round 1, not round 0.
 	g := mustRing(t, 3)
-	e := NewEngine(g, 1)
+	e := New(g, WithSeed(1))
 	procs := make([]Proc, 3)
 	counters := make([]*counterProc, 3)
 	for v := range procs {
@@ -194,7 +194,7 @@ func TestDeliveryNextRound(t *testing.T) {
 
 func TestHaltedSkipped(t *testing.T) {
 	g := mustRing(t, 3)
-	e := NewEngine(g, 1)
+	e := New(g, WithSeed(1))
 	procs := make([]Proc, 3)
 	counters := make([]*counterProc, 3)
 	for v := range procs {
@@ -221,7 +221,7 @@ func TestHaltedSkipped(t *testing.T) {
 
 func TestStopCondition(t *testing.T) {
 	g := mustRing(t, 4)
-	e := NewEngine(g, 1)
+	e := New(g, WithSeed(1))
 	procs := make([]Proc, 4)
 	for v := range procs {
 		procs[v] = &counterProc{}
@@ -241,7 +241,7 @@ func TestStopCondition(t *testing.T) {
 
 func TestMetrics(t *testing.T) {
 	g := mustRing(t, 4)
-	e := NewEngine(g, 1)
+	e := New(g, WithSeed(1))
 	procs := make([]Proc, 4)
 	for v := range procs {
 		procs[v] = &counterProc{haltAt: 2}
@@ -282,7 +282,7 @@ func (r *rogueProc) Halted() bool { return r.stepped }
 
 func TestNonNeighborDropped(t *testing.T) {
 	g := mustRing(t, 6)
-	e := NewEngine(g, 1)
+	e := New(g, WithSeed(1))
 	procs := make([]Proc, 6)
 	for v := range procs {
 		procs[v] = &rogueProc{}
@@ -309,7 +309,7 @@ func TestSenderIDStamped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := NewEngine(pg, 9)
+	e := New(pg, WithSeed(9))
 	var got []Incoming
 	procs := []Proc{
 		procFunc(func(env *Env, round int, in []Incoming) []Outgoing {
@@ -349,7 +349,7 @@ func TestBroadcastMultiEdge(t *testing.T) {
 	g := graph.New(2)
 	g.AddEdge(0, 1)
 	g.AddEdge(0, 1)
-	e := NewEngine(g, 1)
+	e := New(g, WithSeed(1))
 	var count int
 	procs := []Proc{
 		procFunc(func(env *Env, round int, in []Incoming) []Outgoing {
@@ -377,8 +377,8 @@ func TestBroadcastMultiEdge(t *testing.T) {
 
 func TestEnvNodeRandIndependent(t *testing.T) {
 	g := mustRing(t, 4)
-	e1 := NewEngine(g, 5)
-	e2 := NewEngine(g, 5)
+	e1 := New(g, WithSeed(5))
+	e2 := New(g, WithSeed(5))
 	// Same engine seed: per-node streams identical across engines...
 	if e1.Env(2).Rand().Uint64() != e2.Env(2).Rand().Uint64() {
 		t.Error("per-node streams not reproducible")
@@ -397,7 +397,7 @@ func TestEnvironmentFields(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := NewEngine(g, 11)
+	e := New(g, WithSeed(11))
 	for v := 0; v < g.N(); v++ {
 		env := e.Env(v)
 		if env.Vertex != v {

@@ -60,13 +60,13 @@ func TestEngineConstructionBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	g.Adj(0)       // finalize outside the measured region
-	g.SortedAdj(0) // (NewEngine aliases the shared sorted CSR)
+	g.SortedAdj(0) // (the static-graph engine aliases the shared sorted CSR)
 	for _, tc := range []struct {
 		name  string
 		build func() *sim.Engine
 	}{
-		{"topology", func() *sim.Engine { return sim.NewTopologyEngine(lat, 7) }},
-		{"static", func() *sim.Engine { return sim.NewEngine(g, 7) }},
+		{"topology", func() *sim.Engine { return sim.New(lat, sim.WithSeed(7)) }},
+		{"static", func() *sim.Engine { return sim.New(g, sim.WithSeed(7)) }},
 	} {
 		var eng *sim.Engine
 		allocs, bytes := heapDuring(func() { eng = tc.build() })
@@ -91,7 +91,7 @@ func TestTopologyEnginePrecarvedFirstRound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := sim.NewTopologyEngine(lat, 7)
+	eng := sim.New(lat, sim.WithSeed(7))
 	procs := make([]sim.Proc, n)
 	for v := range procs {
 		procs[v] = silentProc{}

@@ -95,7 +95,7 @@ func runTranscript(t *testing.T, workers int) string {
 	params.MaxPhase = 8
 	maxRounds := params.Schedule.RoundsThroughPhase(params.MaxPhase + 1)
 
-	eng := sim.NewEngine(g, 7)
+	eng := sim.New(g, sim.WithSeed(7))
 	eng.SetParallelism(workers)
 	eng.SetEdgeCapacity(512)
 	procs := make([]sim.Proc, n)
