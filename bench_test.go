@@ -294,6 +294,58 @@ func BenchmarkEngineVTJitterRoundThroughputParallel8(b *testing.B) {
 	benchVTFloodThroughput(b, 8, "uniform:1-4")
 }
 
+// BenchmarkEngineVTSparseRoundThroughput times the pulse/relay workload
+// (perf.NewVTSparseEngine — BENCH.json's engine/vt-flood/sparse/*):
+// vertex 0 pulses a TTL-limited broadcast every 8 rounds, message-driven
+// relays propagate it under uniform:1-4 jitter, and the serial engine's
+// occupancy lane delivers and clears only the ring rows that received
+// something. The Full variant runs the identical workload with unmarked
+// relays — every tick pays the O(n)-row scan — so the pair isolates the
+// sparse lane's win.
+func BenchmarkEngineVTSparseRoundThroughput(b *testing.B) {
+	eng, err := perf.NewVTSparseEngine(1024, 8, 1, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRoundThroughput(b, eng)
+}
+
+func BenchmarkEngineVTSparseRoundThroughputFull(b *testing.B) {
+	eng, err := perf.NewVTSparseEngine(1024, 8, 1, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRoundThroughput(b, eng)
+}
+
+// benchVTSkipThroughput times the token workload (perf.NewVTSkipEngine
+// — BENCH.json's engine/vt-skip/*): one token circulating a ring
+// lattice under uniform:1-4 jitter, so most virtual ticks deliver
+// nothing. With skipping on, the scheduler fast-forwards through empty
+// ticks in O(1) each; with skipping off (or with unmarked relays, the
+// Full variant) every tick executes. One iteration is one virtual tick
+// either way — skipped ticks still advance the clock and the metrics.
+func benchVTSkipThroughput(b *testing.B, dense, skip bool) {
+	eng, err := perf.NewVTSkipEngine(1024, dense)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.SetTickSkip(skip)
+	benchRoundThroughput(b, eng)
+}
+
+func BenchmarkEngineVTSkipRoundThroughput(b *testing.B) {
+	benchVTSkipThroughput(b, false, true)
+}
+
+func BenchmarkEngineVTSkipRoundThroughputNoSkip(b *testing.B) {
+	benchVTSkipThroughput(b, false, false)
+}
+
+func BenchmarkEngineVTSkipRoundThroughputFull(b *testing.B) {
+	benchVTSkipThroughput(b, true, true)
+}
+
 // benchEngineChurnThroughput times the churn flood workload
 // (perf.NewChurnFloodEngine — the same workload BENCH.json records as
 // engine/churn-flood/*): every round two nodes leave, two join, the

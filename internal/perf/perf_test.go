@@ -57,13 +57,14 @@ func TestMeasureCalibrates(t *testing.T) {
 }
 
 // TestSuiteShape: the suite covers the engine micro-benchmarks
-// (static, churn, and churn-byz), the graph substrate workloads
-// (build-hnd, build-ws, build-regular, bfs), and all twenty
-// experiments; names are unique, and the filter selects by substring.
+// (static, virtual-time — unit, jitter, sparse, and tick-skip lanes —
+// churn, and churn-byz), the graph substrate workloads (build-hnd,
+// build-ws, build-regular, bfs), and all twenty experiments; names are
+// unique, and the filter selects by substring.
 func TestSuiteShape(t *testing.T) {
 	suite := Suite(SuiteConfig{Quick: true})
-	if len(suite) != 15+20 {
-		t.Fatalf("suite has %d benchmarks, want 35", len(suite))
+	if len(suite) != 21+20 {
+		t.Fatalf("suite has %d benchmarks, want 41", len(suite))
 	}
 	seen := map[string]bool{}
 	experiments := 0
@@ -99,6 +100,16 @@ func TestSuiteShape(t *testing.T) {
 	}
 	if !seen["engine/vt-flood/jitter/serial/n=1024"] {
 		t.Error("suite is missing engine/vt-flood/jitter/serial/n=1024")
+	}
+	if !seen["engine/vt-flood/sparse/serial/n=1024"] {
+		t.Error("suite is missing engine/vt-flood/sparse/serial/n=1024")
+	}
+	if !seen["engine/vt-skip/token/serial/n=1024"] {
+		t.Error("suite is missing engine/vt-skip/token/serial/n=1024")
+	}
+	skipFiltered := Suite(SuiteConfig{Quick: true, Filter: "vt-skip"})
+	if len(skipFiltered) != 3 {
+		t.Errorf("filter vt-skip kept %d benchmarks, want 3", len(skipFiltered))
 	}
 	filtered := Suite(SuiteConfig{Quick: true, Filter: "engine/flood"})
 	if len(filtered) != 3 {

@@ -219,6 +219,56 @@ func TestSteadyStateAllocsVTParallel(t *testing.T) {
 	}
 }
 
+// TestSteadyStateAllocsVTSparse: the occupancy-lane gate — the sparse
+// pulse/relay workload (TickDriven relays, serial engine, occupancy
+// rows sorted and cleared per tick) allocates nothing per warm round,
+// strictly. Guards what BENCH.json records as engine/vt-flood/sparse/*.
+func TestSteadyStateAllocsVTSparse(t *testing.T) {
+	eng, err := perf.NewVTSparseEngine(1024, 8, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(1300); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := eng.Run(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("serial steady-state sparse round allocates: %.1f allocs/round, want 0", allocs)
+	}
+}
+
+// TestSteadyStateAllocsVTSkip: the fast-forward gate — the token
+// workload (one message in flight, most ticks skipped in O(1)) must
+// keep skipped and executed ticks both allocation-free. MessagesByRound
+// grows one entry per tick even when skipping, so the warm-up leaves
+// the series reserved past the measured rounds exactly like the other
+// gates — and it runs a full lap of the ring (one hop per ~2.5 ticks,
+// 1023 relays), because each relay derives its per-sender delay stream
+// lazily on its first send and the steady state only starts once every
+// vertex has hosted the token. Guards what BENCH.json records as
+// engine/vt-skip/*.
+func TestSteadyStateAllocsVTSkip(t *testing.T) {
+	eng, err := perf.NewVTSkipEngine(1024, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(3000); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := eng.Run(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("serial steady-state tick-skip round allocates: %.1f allocs/round, want 0", allocs)
+	}
+}
+
 // TestSteadyStateAllocsParallel: with SetParallelism(8), allocations
 // must not scale with the number of rounds executed. Each Run call pays
 // a constant pool-startup cost (one goroutine spawn per worker); the

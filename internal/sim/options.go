@@ -3,9 +3,8 @@ package sim
 import "byzcount/internal/graph"
 
 // New is the engine constructor: one entry point over any substrate,
-// configured by functional options. It replaces the NewEngine /
-// NewTopologyEngine pair (kept as deprecated wrappers for one PR):
-// a *graph.Graph dispatches to the static fast path — CSR ingestion,
+// configured by functional options.
+// A *graph.Graph dispatches to the static fast path — CSR ingestion,
 // adjacency aliasing, zero per-round overhead — and every other
 // Topology to the epoch-stamped lazy-resolution path, so callers pick
 // a substrate, not a constructor.

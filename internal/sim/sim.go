@@ -82,8 +82,8 @@ const staleEpoch = ^uint64(0)
 
 // TopologyDegrees is the optional Topology extension that serves as the
 // engine's slab capacity hint: when a topology can report per-slot
-// degrees up front (static implicit families always can),
-// NewTopologyEngine pre-carves every Env's Neighbors/NeighborIDs and
+// degrees up front (static implicit families always can), the topology
+// constructor pre-carves every Env's Neighbors/NeighborIDs and
 // the sorted-adjacency buffer out of bounded slab chunks. The first
 // lazy resolve of each vertex then appends into its carved buffer
 // instead of growing a nil slice, so a million-slot engine's first
@@ -268,13 +268,23 @@ type Sequential interface {
 
 // Metrics aggregates message-level measurements across a run.
 type Metrics struct {
-	Rounds        int   // rounds executed
-	Messages      int64 // messages delivered
-	Bits          int64 // total payload bits delivered
-	MaxMsgBits    int   // largest single payload
-	Violations    int64 // messages addressed to non-neighbors (dropped)
-	Capped        int64 // messages dropped by the CONGEST edge capacity
-	Dropped       int64 // messages lost to the fault model (admitted, never delivered)
+	Rounds     int   // rounds executed
+	Messages   int64 // messages delivered
+	Bits       int64 // total payload bits delivered
+	MaxMsgBits int   // largest single payload
+	Violations int64 // messages addressed to non-neighbors (dropped)
+	Capped     int64 // messages dropped by the CONGEST edge capacity
+	Dropped    int64 // messages lost to the fault model (admitted, never delivered)
+	// DelayClamped counts admitted messages whose DelayModel returned a
+	// latency outside [1, MaxDelay] and had it clamped into range. The
+	// parsed built-in models never clamp (their parameters are
+	// validated), so a nonzero count flags a misconfigured hand-built
+	// model instead of silently reshaping its schedule.
+	DelayClamped int64
+	// TicksSkipped counts empty virtual ticks the serial scheduler
+	// fast-forwarded over (see TickDriven). Skipped ticks still count in
+	// Rounds and MessagesByRound, so the series' shape is unchanged.
+	TicksSkipped  int64
 	PerNodeMaxBit []int // per-vertex largest payload sent
 	// MessagesByRound[r] is the number of messages sent in round r — the
 	// per-round traffic series that makes Algorithm 2's phase structure
@@ -324,20 +334,20 @@ type workerState struct {
 	// messages round-major, sender-major — exactly the serial schedule.
 	vtb [][]routed
 
-	messages   int64
-	bits       int64
-	violations int64
-	capped     int64
-	dropped    int64
-	maxMsgBits int
-	allHalted  bool
+	messages     int64
+	bits         int64
+	violations   int64
+	capped       int64
+	dropped      int64
+	delayClamped int64
+	maxMsgBits   int
+	allHalted    bool
 }
 
 // Engine drives a set of processes over a network in lock-step rounds.
-// The network is either a static graph (NewEngine) or a mutable Topology
-// (NewTopologyEngine); in the latter case vacant slots carry nil
-// processes and membership changes at round boundaries via
-// Detach/AttachAt.
+// The network is either a static graph or a mutable Topology (both via
+// New); in the latter case vacant slots carry nil processes and
+// membership changes at round boundaries via Detach/AttachAt.
 type Engine struct {
 	g    *graph.Graph // static substrate; nil for topology engines
 	topo Topology     // mutable substrate; nil for static engines
@@ -437,6 +447,38 @@ type Engine struct {
 	// models' round argument use it so in-flight messages stay aligned
 	// across consecutive Run calls.
 	tick int
+	// vtr is the tick's devirtualized model dispatch (see resolveVT),
+	// resolved once per parallel round before the step phase and read
+	// by every worker; serial rounds resolve into a local instead.
+	vtr vtRound
+
+	// --- sparse virtual-time delivery (serial scheduler only) ---
+	// sparse is set by ensureState when the serial virtual-time
+	// scheduler has at least one TickDriven proc attached: ring slots
+	// then maintain the occupancy overlay below and rounds step only
+	// the union of always-step vertices and occupied rows. Dense
+	// workloads (no marked procs) keep the plain lanes and pay nothing.
+	sparse bool
+	// skip enables fast-forwarding over empty ticks when every live
+	// proc is TickDriven (default on; see SetTickSkip / TickDriven).
+	skip bool
+	// occRows[s] lists the vertex rows that may hold pending messages
+	// in ring slot s (append-on-first-message; entries can be stale
+	// after a Detach truncated the row, and duplicated after slot
+	// recycling — delivery sorts and dedupes). occCnt[s] is the exact
+	// pending-message count for slot s, so the all-empty-tick test is
+	// one load.
+	occRows [][]int32
+	occCnt  []int64
+	// alwaysStep lists (ascending) the vertices whose procs do NOT
+	// carry the TickDriven marker — they are stepped on every tick,
+	// preserving the dense semantics for round-driven procs. isTD is
+	// the marker membership mask; tdLive counts live marked procs
+	// (maintained at Step-time halts and membership changes, recounted
+	// at Run entry).
+	alwaysStep []int32
+	isTD       []bool
+	tdLive     int
 
 	// --- parallel mode ---
 	workers int            // requested Step-shard workers; <=1 means serial
@@ -487,20 +529,6 @@ var ErrSizeMismatch = errors.New("sim: process count does not match vertex count
 // supported slowly — run such scenarios serially (the serial
 // virtual-time engine handles Sequential processes fine).
 var ErrSequentialVirtualTime = errors.New("sim: Sequential processes require serial execution under virtual time")
-
-// NewEngine creates an engine over the static graph g.
-//
-// Deprecated: use New(g, WithSeed(seed)) — New dispatches to the same
-// static fast path. This wrapper exists so PR-7 callers migrate
-// incrementally and will be deleted in the next PR.
-func NewEngine(g *graph.Graph, seed uint64) *Engine { return newStaticEngine(g, seed) }
-
-// NewTopologyEngine creates an engine over a mutable topology.
-//
-// Deprecated: use New(topo, WithSeed(seed)) — New dispatches on the
-// concrete topology type. This wrapper exists so PR-7 callers migrate
-// incrementally and will be deleted in the next PR.
-func NewTopologyEngine(topo Topology, seed uint64) *Engine { return newTopologyEngine(topo, seed) }
 
 // newStaticEngine builds the engine over a static graph. Node IDs and
 // per-node random streams derive from seed; vertex v's stream is
@@ -599,6 +627,7 @@ func newEngine(n int, seed uint64) *Engine {
 	e := &Engine{
 		n:         n,
 		root:      root,
+		skip:      true,
 		idStream:  root.Split("ids"),
 		envs:      make([]Env, n),
 		ids:       make([]NodeID, n),
@@ -647,10 +676,17 @@ func (e *Engine) Attach(procs []Proc) error {
 	e.ws = nil // worker scratch depends on which procs are Sequential
 	e.seq = e.seq[:0]
 	e.isSeq = make([]bool, len(procs))
+	e.alwaysStep = e.alwaysStep[:0]
+	e.isTD = make([]bool, len(procs))
 	for v, p := range procs {
 		if _, ok := p.(Sequential); ok {
 			e.seq = append(e.seq, v)
 			e.isSeq[v] = true
+		}
+		if _, ok := p.(TickDriven); ok {
+			e.isTD[v] = true
+		} else if p != nil {
+			e.alwaysStep = append(e.alwaysStep, int32(v))
 		}
 	}
 	return nil
@@ -678,14 +714,29 @@ func (e *Engine) Detach(v int) error {
 		return fmt.Errorf("sim: Detach of vacant vertex %d", v)
 	}
 	delete(e.vertexOf, e.ids[v])
+	if e.isTD != nil && v < len(e.isTD) && e.isTD[v] {
+		if !e.procs[v].Halted() {
+			e.tdLive--
+		}
+		e.isTD[v] = false
+	} else if i, found := slices.BinarySearch(e.alwaysStep, int32(v)); found {
+		e.alwaysStep = slices.Delete(e.alwaysStep, i, i+1)
+	}
 	e.procs[v] = nil
 	e.cur[v] = e.cur[v][:0]
 	e.next[v] = e.next[v][:0]
 	// Under virtual time pending deliveries live in the ring, up to
 	// window-1 ticks out; drop them all (the departed node never sees
-	// them, matching the synchronous convention).
+	// them, matching the synchronous convention). Sparse engines keep
+	// the per-slot counts exact; the occupied-row entries go stale,
+	// which delivery tolerates (it re-checks row lengths).
 	for s := range e.ring {
-		e.ring[s][v] = e.ring[s][v][:0]
+		if row := e.ring[s][v]; len(row) > 0 {
+			if e.sparse && s < len(e.occCnt) {
+				e.occCnt[s] -= int64(len(row))
+			}
+			e.ring[s][v] = row[:0]
+		}
 	}
 	if e.isSeq != nil && e.isSeq[v] {
 		e.isSeq[v] = false
@@ -734,10 +785,30 @@ func (e *Engine) AttachAt(v int, id NodeID, p Proc) error {
 	e.cur[v] = e.cur[v][:0]
 	e.next[v] = e.next[v][:0]
 	for s := range e.ring {
-		e.ring[s][v] = e.ring[s][v][:0]
+		if row := e.ring[s][v]; len(row) > 0 {
+			if e.sparse && s < len(e.occCnt) {
+				e.occCnt[s] -= int64(len(row))
+			}
+			e.ring[s][v] = row[:0]
+		}
 	}
 	e.procs[v] = p
 	e.hookAttached = true
+	if _, ok := p.(TickDriven); ok {
+		if e.isTD == nil || len(e.isTD) < e.n {
+			grown := make([]bool, e.n)
+			copy(grown, e.isTD)
+			e.isTD = grown
+		}
+		e.isTD[v] = true
+		if !p.Halted() {
+			e.tdLive++
+		}
+	} else {
+		if i, found := slices.BinarySearch(e.alwaysStep, int32(v)); !found {
+			e.alwaysStep = slices.Insert(e.alwaysStep, i, int32(v))
+		}
+	}
 	if _, ok := p.(Sequential); ok {
 		if e.isSeq == nil || len(e.isSeq) < e.n {
 			grown := make([]bool, e.n)
@@ -808,6 +879,9 @@ func (e *Engine) growTo(m int) {
 		}
 		if e.isSeq != nil {
 			e.isSeq = append(e.isSeq, false)
+		}
+		if e.isTD != nil {
+			e.isTD = append(e.isTD, false)
 		}
 	}
 	for s := range e.ring {
@@ -1084,6 +1158,17 @@ func (e *Engine) ensureState() {
 				ws.vtb = make([][]routed, w*e.window)
 			}
 		}
+		// Sparse delivery needs a single scheduler goroutine (occupancy
+		// appends are unsynchronized) and at least one marked proc to
+		// pay for itself; rebuilding the overlay from the ring here
+		// means messages in flight across a reconfiguration are
+		// re-discovered, never stranded.
+		e.sparse = w == 1 && e.hasTickDriven()
+		if e.sparse {
+			e.ensureOccupancy()
+		}
+	} else {
+		e.sparse = false
 	}
 }
 
@@ -1165,10 +1250,11 @@ func (e *Engine) flushRound() int64 {
 		e.metrics.Violations += ws.violations
 		e.metrics.Capped += ws.capped
 		e.metrics.Dropped += ws.dropped
+		e.metrics.DelayClamped += ws.delayClamped
 		if ws.maxMsgBits > e.metrics.MaxMsgBits {
 			e.metrics.MaxMsgBits = ws.maxMsgBits
 		}
-		ws.messages, ws.bits, ws.violations, ws.capped, ws.dropped, ws.maxMsgBits = 0, 0, 0, 0, 0, 0
+		ws.messages, ws.bits, ws.violations, ws.capped, ws.dropped, ws.delayClamped, ws.maxMsgBits = 0, 0, 0, 0, 0, 0, 0
 	}
 	return roundMsgs
 }
@@ -1262,120 +1348,6 @@ func (e *Engine) roundSerial(r int) bool {
 	return allHalted
 }
 
-// roundSerialVT executes one virtual-time round on the calling
-// goroutine. It is roundSerial with the double buffer replaced by the
-// delivery ring: tick t's inbox is ring[t mod window], and an admitted
-// message drawn delay d lands in ring[(t+d) mod window]. Two extra
-// per-message stages slot in between the legacy ones, in a fixed order
-// that the parallel round reproduces exactly:
-//
-//	neighbor check -> capacity budget -> fault verdict -> latency draw
-//
-// A faulted message has consumed edge capacity (the sender spent the
-// edge) but is counted in Dropped, not Messages, and does not advance
-// the latency stream. Draws happen in send order on the sender's
-// private streams, so the schedule is a pure function of the seed.
-func (e *Engine) roundSerialVT(r int) bool {
-	n := e.n
-	ws := e.ws[0]
-	capBits := e.edgeCapBits
-	if capBits > 0 && ws.budget == nil {
-		ws.budget = make([]int, n)
-		ws.budgetGen = make([]uint64, n)
-	}
-	if ws.nbrMark == nil {
-		ws.nbrMark = make([]uint64, n)
-	}
-	nbrMark := ws.nbrMark
-	perNodeMax := e.metrics.PerNodeMaxBit
-	dyn := e.topo != nil
-	tick := e.metrics.Rounds
-	e.tick = tick
-	window := e.window
-	box := e.ring[tick%window]
-	allHalted := true
-	for v := 0; v < n; v++ {
-		p := e.procs[v]
-		if p == nil || p.Halted() {
-			box[v] = box[v][:0]
-			continue
-		}
-		allHalted = false
-		if dyn && e.epochOf[v] != e.curEpoch {
-			e.catchUpVertex(v)
-		}
-		out := p.Step(&e.envs[v], r, box[v])
-		box[v] = box[v][:0]
-		if len(out) == 0 {
-			continue
-		}
-		ws.gen++
-		gen := ws.gen
-		for _, w := range e.sortedAdj[v] {
-			nbrMark[w] = gen
-		}
-		fromID := e.ids[v]
-		maxSent := perNodeMax[v]
-		var msgs, totalBits int64
-		for _, msg := range out {
-			to, payload := msg.To, msg.Payload
-			if uint(to) >= uint(n) || nbrMark[to] != gen {
-				ws.violations++
-				continue
-			}
-			bits := 0
-			if payload != nil {
-				bits = payload.SizeBits()
-			}
-			if capBits > 0 {
-				if ws.budgetGen[to] != gen {
-					ws.budgetGen[to] = gen
-					ws.budget[to] = 0
-				}
-				if ws.budget[to]+bits > capBits {
-					ws.capped++
-					continue
-				}
-				ws.budget[to] += bits
-			}
-			if e.fault != nil && e.fault.Drop(e.faultStream(v), tick, v, to) {
-				ws.dropped++
-				continue
-			}
-			d := 1
-			if e.delay != nil {
-				d = e.delay.Delay(e.delayStream(v), tick, v, to)
-				if d < 1 {
-					d = 1
-				} else if d >= window {
-					d = window - 1
-				}
-			}
-			msgs++
-			totalBits += int64(bits)
-			if bits > ws.maxMsgBits {
-				ws.maxMsgBits = bits
-			}
-			if bits > maxSent {
-				maxSent = bits
-			}
-			dst := e.ring[(tick+d)%window]
-			dst[to] = append(dst[to], Incoming{
-				From:    v,
-				FromID:  fromID,
-				Payload: payload,
-			})
-		}
-		ws.messages += msgs
-		ws.bits += totalBits
-		perNodeMax[v] = maxSent
-		if cap(out) > cap(e.envs[v].scratch) {
-			e.envs[v].scratch = out[:0]
-		}
-	}
-	return allHalted
-}
-
 // stepVertex runs the shared prologue of one parallel step: halt
 // check, Step, inbox truncation, and stamping the sender's neighbors
 // for admission. It returns the vertex's outgoing messages (nil when
@@ -1419,88 +1391,6 @@ func (e *Engine) stepVertexBuckets(v, r int, ws *workerState) {
 			ws.buckets[s] = append(ws.buckets[s],
 				routed{to: int32(msg.To), from: int32(v), payload: msg.Payload})
 		}
-	}
-	if cap(out) > cap(e.envs[v].scratch) {
-		e.envs[v].scratch = out[:0]
-	}
-}
-
-// admitVT runs one message's virtual-time admission pipeline for the
-// parallel round (see admit for the legacy version and roundSerialVT
-// for the stage order): neighbor check and capacity budget exactly as
-// admit, then the fault verdict between the budget charge and the
-// delivery accounting. Every stage is sender-local, so each decision is
-// identical however vertices are scheduled.
-func (e *Engine) admitVT(ws *workerState, v, tick int, msg *Outgoing) bool {
-	if uint(msg.To) >= uint(e.n) || ws.nbrMark[msg.To] != ws.gen {
-		ws.violations++
-		return false
-	}
-	bits := 0
-	if msg.Payload != nil {
-		bits = msg.Payload.SizeBits()
-	}
-	if e.edgeCapBits > 0 {
-		if ws.budget == nil {
-			ws.budget = make([]int, e.n)
-			ws.budgetGen = make([]uint64, e.n)
-		}
-		if ws.budgetGen[msg.To] != ws.gen {
-			ws.budgetGen[msg.To] = ws.gen
-			ws.budget[msg.To] = 0
-		}
-		if ws.budget[msg.To]+bits > e.edgeCapBits {
-			ws.capped++
-			return false
-		}
-		ws.budget[msg.To] += bits
-	}
-	if e.fault != nil && e.fault.Drop(e.faultStream(v), tick, v, msg.To) {
-		ws.dropped++
-		return false
-	}
-	ws.messages++
-	ws.bits += int64(bits)
-	if bits > ws.maxMsgBits {
-		ws.maxMsgBits = bits
-	}
-	if bits > e.metrics.PerNodeMaxBit[v] {
-		e.metrics.PerNodeMaxBit[v] = bits
-	}
-	return true
-}
-
-// drawDelay draws (or computes) the latency of one admitted message,
-// clamped to [1, window-1] so the target slot never collides with the
-// slot being delivered.
-func (e *Engine) drawDelay(v, tick, to int) int {
-	if e.delay == nil {
-		return 1
-	}
-	d := e.delay.Delay(e.delayStream(v), tick, v, to)
-	if d < 1 {
-		d = 1
-	} else if d >= e.window {
-		d = e.window - 1
-	}
-	return d
-}
-
-// stepVertexVT steps one vertex of a parallel virtual-time round,
-// admitting its output into the worker's per-(destination-shard,
-// ring-slot) buckets.
-func (e *Engine) stepVertexVT(v, r int, ws *workerState) {
-	out := e.stepVertex(v, r, ws)
-	tick, window := e.tick, e.window
-	for i := range out {
-		msg := &out[i]
-		if !e.admitVT(ws, v, tick, msg) {
-			continue
-		}
-		d := e.drawDelay(v, tick, msg.To)
-		idx := int(e.shardOf[msg.To])*window + (tick+d)%window
-		ws.vtb[idx] = append(ws.vtb[idx],
-			routed{to: int32(msg.To), from: int32(v), payload: msg.Payload})
 	}
 	if cap(out) > cap(e.envs[v].scratch) {
 		e.envs[v].scratch = out[:0]
@@ -1733,6 +1623,7 @@ func (e *Engine) roundParallel(r int) bool {
 func (e *Engine) roundParallelVT(r int) bool {
 	e.round = r
 	e.tick = e.metrics.Rounds
+	e.vtr = e.resolveVT(e.tick)
 	e.cur = e.ring[e.tick%e.window]
 	for _, ws := range e.ws {
 		ws.allHalted = true
@@ -1764,6 +1655,9 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 		e.ws = nil
 	}
 	e.ensureState()
+	if e.sparse {
+		e.recountTickDriven()
+	}
 	// Reserve the traffic series up front (rounded to a power of two,
 	// bounded so a huge maxRounds with an early stop condition cannot
 	// balloon memory) so appending inside the round loop never grows it
@@ -1799,6 +1693,24 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 			// hook may AttachAt a Sequential process mid-run.
 			if parallel && len(e.seq) > 0 {
 				return r, ErrSequentialVirtualTime
+			}
+			// Fast-forward: an empty slot (one load, occCnt) plus an
+			// all-TickDriven live population means executing this tick
+			// would step nothing and deliver nothing — jump the virtual
+			// clock instead. A between-rounds hook pins the dense
+			// cadence (it observes every boundary), and the skipped
+			// tick's bookkeeping matches an executed empty tick exactly,
+			// so transcripts and metrics (minus TicksSkipped) are
+			// identical with skipping on or off.
+			if !parallel && e.sparse && e.skip && e.betweenRounds == nil &&
+				e.occCnt[e.metrics.Rounds%e.window] == 0 && e.vtCanSkip() {
+				e.metrics.Rounds++
+				e.metrics.TicksSkipped++
+				e.metrics.MessagesByRound = append(e.metrics.MessagesByRound, 0)
+				if e.stop != nil && e.stop(r) {
+					return r + 1, nil
+				}
+				continue
 			}
 			if parallel {
 				allHalted = e.roundParallelVT(r)

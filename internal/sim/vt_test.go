@@ -440,26 +440,26 @@ func TestParseFaultModel(t *testing.T) {
 	}
 }
 
-// TestVTDeprecatedConstructorsAgree pins the deprecated wrappers to
-// sim.New: same IDs, same envs, so callers can migrate mechanically.
-func TestVTDeprecatedConstructorsAgree(t *testing.T) {
+// TestVTNewDispatch pins New's constructor dispatch: a *graph.Graph
+// takes the static fast path, any other Topology the mutable path, and
+// the two paths assign identical IDs from the same seed (what lets a
+// static run be re-hosted on a mutable topology without re-deriving
+// anything).
+func TestVTNewDispatch(t *testing.T) {
 	g := mustHND(t, 64, 4, 3)
-	a, b := sim.NewEngine(g, 77), sim.New(g, sim.WithSeed(77))
-	for v := 0; v < 64; v++ {
-		if a.ID(v) != b.ID(v) {
-			t.Fatalf("vertex %d: NewEngine ID %d != New ID %d", v, a.ID(v), b.ID(v))
-		}
+	a := sim.New(g, sim.WithSeed(77))
+	if a.Graph() == nil {
+		t.Fatal("New over a *graph.Graph must take the static path")
 	}
 	net, err := dynamic.NewNetwork(64, 4, xrand.New(8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := sim.NewTopologyEngine(net, 77)
 	d := sim.New(sim.Topology(net), sim.WithSeed(77))
-	if c.Slots() != d.Slots() || c.ID(0) != d.ID(0) {
-		t.Fatalf("topology constructors disagree: slots %d/%d id %d/%d", c.Slots(), d.Slots(), c.ID(0), d.ID(0))
-	}
 	if d.Graph() != nil {
 		t.Fatal("New over a non-graph topology must not take the static path")
+	}
+	if a.Slots() != d.Slots() || a.ID(0) != d.ID(0) {
+		t.Fatalf("constructor paths disagree: slots %d/%d id %d/%d", a.Slots(), d.Slots(), a.ID(0), d.ID(0))
 	}
 }
