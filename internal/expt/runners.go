@@ -54,6 +54,12 @@ type engineOpts struct {
 	workers int // 0 or 1 = serial
 	delay   sim.DelayModel
 	fault   sim.FaultModel
+	// tickSkip / tickSkipSet carry an explicit SetTickSkip request (the
+	// CLI's -tickskip). Explicit means fail-fast when the run cannot
+	// consult the knob: skip only exists on the virtual-time sparse path,
+	// which needs at least one TickDriven proc.
+	tickSkip    bool
+	tickSkipSet bool
 }
 
 // runProtocolFracPar is runProtocolFrac with explicit engine options
@@ -95,6 +101,17 @@ func runProtocolOnEngine(eng *sim.Engine, n int, byz []bool, honestProc, byzProc
 	}
 	if err := eng.Attach(procs); err != nil {
 		return runOutcome{}, err
+	}
+	if eo.tickSkipSet {
+		// Fail fast instead of silently ignoring the knob: tick
+		// fast-forwarding only exists on the sparse virtual-time path,
+		// which engages when at least one proc is TickDriven.
+		if !eng.HasTickDriven() {
+			return runOutcome{}, fmt.Errorf(
+				"expt: -tickskip set but no attached process is TickDriven; " +
+					"tick fast-forwarding is structurally disabled for this protocol")
+		}
+		eng.SetTickSkip(eo.tickSkip)
 	}
 	honest := make([]bool, n)
 	for v := range honest {

@@ -528,6 +528,15 @@ type RunOptions struct {
 	// Workers is the engine's Step-shard worker count (0 or 1 = serial;
 	// outputs are bit-identical for every value).
 	Workers int
+	// TickSkip, when non-nil, explicitly sets virtual-tick
+	// fast-forwarding (default on; transcripts are byte-identical either
+	// way, only Metrics.TicksSkipped and wall time differ). An explicit
+	// setting on a run that structurally cannot consult it — a
+	// synchronous cell, a churn cell (the between-rounds hook pins the
+	// dense cadence), or a protocol with no TickDriven procs — is an
+	// error rather than a silent no-op. It is an execution-shape option,
+	// not a Scenario axis, for exactly that transcript-equality reason.
+	TickSkip *bool
 }
 
 // RunScenario executes one scenario cell. rng is the cell's root random
@@ -558,6 +567,20 @@ func RunScenario(sc Scenario, rng *xrand.Rand, opts RunOptions) (*ScenarioOutcom
 	eo := engineOpts{workers: opts.Workers}
 	eo.delay, _ = sim.ParseDelayModel(sc.Delay)
 	eo.fault, _ = sim.ParseFaultModel(sc.Fault)
+	if opts.TickSkip != nil {
+		if eo.delay == nil && eo.fault == nil {
+			return nil, fmt.Errorf(
+				"expt: -tickskip set on a synchronous cell; tick fast-forwarding " +
+					"only exists under the virtual-time scheduler (pass -delay or -fault)")
+		}
+		if sc.Churn.Active() || sc.Dynamic {
+			return nil, fmt.Errorf(
+				"expt: -tickskip set on a churn cell; the between-rounds churn hook " +
+					"pins the dense tick cadence, so fast-forwarding is structurally disabled")
+		}
+		eo.tickSkip = *opts.TickSkip
+		eo.tickSkipSet = true
+	}
 	if sc.Churn.Active() || sc.Dynamic {
 		return runScenarioChurn(sc, ctx, proto, adv, eo)
 	}

@@ -98,21 +98,22 @@ func TestDiffFiles(t *testing.T) {
 
 func TestScalingSuiteShape(t *testing.T) {
 	quick := ScalingSuite(ScalingConfig{Quick: true})
-	if want := len(ScalingSizes(true)) * len(ScalingWorkers); len(quick) != want {
+	if want := 2 * len(ScalingSizes(true)) * len(ScalingWorkers); len(quick) != want {
 		t.Fatalf("quick suite has %d cells, want %d", len(quick), want)
 	}
 	for _, n := range ScalingSizes(true) {
 		for _, w := range ScalingWorkers {
-			name := ScalingName(n, w)
-			found := false
-			for _, b := range quick {
-				if b.Name == name {
-					found = true
-					break
+			for _, name := range []string{ScalingName(n, w), ScalingSparseName(n, w)} {
+				found := false
+				for _, b := range quick {
+					if b.Name == name {
+						found = true
+						break
+					}
 				}
-			}
-			if !found {
-				t.Errorf("quick suite missing %s", name)
+				if !found {
+					t.Errorf("quick suite missing %s", name)
+				}
 			}
 		}
 	}
@@ -121,8 +122,12 @@ func TestScalingSuiteShape(t *testing.T) {
 		t.Errorf("full suite (%d cells) not larger than quick (%d)", len(full), len(quick))
 	}
 	filtered := ScalingSuite(ScalingConfig{Quick: true, Filter: "workers=8"})
-	if want := len(ScalingSizes(true)); len(filtered) != want {
+	if want := 2 * len(ScalingSizes(true)); len(filtered) != want {
 		t.Errorf("workers=8 filter kept %d cells, want %d", len(filtered), want)
+	}
+	sparseFiltered := ScalingSuite(ScalingConfig{Quick: true, Filter: "vt-sparse"})
+	if want := len(ScalingSizes(true)) * len(ScalingWorkers); len(sparseFiltered) != want {
+		t.Errorf("vt-sparse filter kept %d cells, want %d", len(sparseFiltered), want)
 	}
 }
 

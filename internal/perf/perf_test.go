@@ -63,8 +63,8 @@ func TestMeasureCalibrates(t *testing.T) {
 // unique, and the filter selects by substring.
 func TestSuiteShape(t *testing.T) {
 	suite := Suite(SuiteConfig{Quick: true})
-	if len(suite) != 21+20 {
-		t.Fatalf("suite has %d benchmarks, want 41", len(suite))
+	if len(suite) != 23+20 {
+		t.Fatalf("suite has %d benchmarks, want 43", len(suite))
 	}
 	seen := map[string]bool{}
 	experiments := 0
@@ -107,9 +107,15 @@ func TestSuiteShape(t *testing.T) {
 	if !seen["engine/vt-skip/token/serial/n=1024"] {
 		t.Error("suite is missing engine/vt-skip/token/serial/n=1024")
 	}
+	if !seen["engine/vt-skip/token/parallel=8/n=1024"] {
+		t.Error("suite is missing engine/vt-skip/token/parallel=8/n=1024")
+	}
+	if !seen["engine/vt-flood/sparse/parallel=8/n=1024"] {
+		t.Error("suite is missing engine/vt-flood/sparse/parallel=8/n=1024")
+	}
 	skipFiltered := Suite(SuiteConfig{Quick: true, Filter: "vt-skip"})
-	if len(skipFiltered) != 3 {
-		t.Errorf("filter vt-skip kept %d benchmarks, want 3", len(skipFiltered))
+	if len(skipFiltered) != 5 {
+		t.Errorf("filter vt-skip kept %d benchmarks, want 5", len(skipFiltered))
 	}
 	filtered := Suite(SuiteConfig{Quick: true, Filter: "engine/flood"})
 	if len(filtered) != 3 {

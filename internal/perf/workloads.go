@@ -300,11 +300,12 @@ var (
 // NewVTSparseEngine builds the sparse pulse/relay workload over H(n,d):
 // vertex 0 pulses a TTL-2 broadcast every 8 rounds, every other vertex
 // relays, all under uniform:1-4 jitter, so each pulse wakes a few
-// hundred of the n rows and the rest of the ring stays untouched. With dense=false the relays are
-// TickDriven and the serial engine runs its occupancy-aware lane —
-// delivery cost tracks messages actually in flight, not n; with
-// dense=true the relays are unmarked and every tick pays the full
-// O(n)-row scan, which is the control the engine/vt-flood/sparse/full
+// hundred of the n rows and the rest of the ring stays untouched. With
+// dense=false the relays are TickDriven and the engine runs its
+// occupancy-aware lane — serial or sharded, delivery cost tracks
+// messages actually in flight, not n; with dense=true the relays are
+// unmarked and every tick pays the full O(n)-row scan (O(n/workers)
+// per worker), which is the control the engine/vt-flood/sparse/full
 // entry records.
 func NewVTSparseEngine(n, d, workers int, dense bool) (*sim.Engine, error) {
 	g, err := graph.HND(n, d, xrand.New(4))
@@ -332,6 +333,14 @@ func NewVTSparseEngine(n, d, workers int, dense bool) (*sim.Engine, error) {
 		return nil, err
 	}
 	eng.ReserveInbox(d * delay.MaxDelay())
+	// The send-side twin: under the sharded engine each pulse wave is
+	// scattered across per-(worker, shard, slot) buckets whose loads are
+	// stochastic, so their capacities would converge to high water only
+	// asymptotically; 2 x the per-row arrival bound is a comfortable
+	// per-bucket burst ceiling, and the reservation makes warm parallel
+	// sparse rounds strictly allocation-free (the
+	// TestSteadyStateAllocsVTSparseParallel gate).
+	eng.ReserveOutbox(2 * d * delay.MaxDelay())
 	return eng, nil
 }
 
@@ -420,11 +429,12 @@ func (*denseTokenRelayProc) Halted() bool { return false }
 // C_n^2 (WattsStrogatz with beta=0): one token injected at round 0,
 // relayed around the ring forever under uniform:1-4 jitter. After the
 // injector halts every live proc is message-driven, so with dense=false
-// the serial engine fast-forwards through the ~2.5 empty ticks between
-// consecutive hops; dense=true swaps in unmarked relays and the engine
-// must execute every tick — the before/after pair behind the >= 2x
-// vt-skip acceptance gate.
-func NewVTSkipEngine(n int, dense bool) (*sim.Engine, error) {
+// the engine — serial or sharded, both schedulers fast-forward —
+// skips through the ~2.5 empty ticks between consecutive hops;
+// dense=true swaps in unmarked relays and the engine must execute
+// every tick — the before/after pair behind the >= 2x vt-skip
+// acceptance gate.
+func NewVTSkipEngine(n, workers int, dense bool) (*sim.Engine, error) {
 	g, err := graph.WattsStrogatz(n, 2, 0, xrand.New(4))
 	if err != nil {
 		return nil, err
@@ -433,7 +443,10 @@ func NewVTSkipEngine(n int, dense bool) (*sim.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.New(g, sim.WithSeed(5), sim.WithDelayModel(delay))
+	eng := sim.New(g,
+		sim.WithSeed(5),
+		sim.WithParallelism(workers),
+		sim.WithDelayModel(delay))
 	procs := make([]sim.Proc, g.N())
 	if dense {
 		relay := &denseTokenRelayProc{N: n}
@@ -483,13 +496,13 @@ func sparseBenchmark(name string, n, d, workers int, dense bool, minTime time.Du
 // skipBenchmark measures the token workload; one iteration is one
 // virtual tick (skipped ticks included — fast-forwarded ticks still
 // advance the clock and the metrics, they just cost O(1)).
-func skipBenchmark(name string, n int, dense, skip bool, minTime time.Duration) Benchmark {
+func skipBenchmark(name string, n, workers int, dense, skip bool, minTime time.Duration) Benchmark {
 	return Benchmark{
 		Name:    name,
 		Warmup:  64,
 		MinTime: minTime,
 		Setup: func() (func(int) (Totals, error), error) {
-			eng, err := NewVTSkipEngine(n, dense)
+			eng, err := NewVTSkipEngine(n, workers, dense)
 			if err != nil {
 				return nil, err
 			}
@@ -722,9 +735,10 @@ func experimentBenchmark(id string, quick bool) Benchmark {
 // micro-benchmarks (serial, pinned-8-worker, and GOMAXPROCS-worker
 // parallel), the vt-flood micro-benchmarks (the virtual-time event
 // queue: degenerate unit latency, uniform:1-4 jitter, and the sparse
-// pulse/relay workload with its dense control), the vt-skip token
-// micro-benchmarks (tick fast-forwarding on, off, and structurally
-// unavailable), the churn flood micro-benchmarks (serial and pinned-worker
+// pulse/relay workload — serial and sharded-parallel — with its dense
+// control), the vt-skip token micro-benchmarks (tick fast-forwarding
+// on, off, and structurally unavailable, serial and sharded-parallel),
+// the churn flood micro-benchmarks (serial and pinned-worker
 // — the dynamic-membership path), the churn-byz micro-benchmarks
 // (membership turnover with a maintained Byzantine fraction spamming —
 // the combined path E16-E18 stand on), a full benign CONGEST protocol
@@ -751,9 +765,13 @@ func Suite(cfg SuiteConfig) []Benchmark {
 		sparseBenchmark(fmt.Sprintf("engine/vt-flood/sparse/parallel=%d/n=1024", workers),
 			1024, 8, workers, false, micro),
 		sparseBenchmark("engine/vt-flood/sparse/full/serial/n=1024", 1024, 8, 1, true, micro),
-		skipBenchmark("engine/vt-skip/token/serial/n=1024", 1024, false, true, micro),
-		skipBenchmark("engine/vt-skip/token/noskip/serial/n=1024", 1024, false, false, micro),
-		skipBenchmark("engine/vt-skip/token/full/serial/n=1024", 1024, true, true, micro),
+		skipBenchmark("engine/vt-skip/token/serial/n=1024", 1024, 1, false, true, micro),
+		skipBenchmark(fmt.Sprintf("engine/vt-skip/token/parallel=%d/n=1024", workers),
+			1024, workers, false, true, micro),
+		skipBenchmark("engine/vt-skip/token/noskip/serial/n=1024", 1024, 1, false, false, micro),
+		skipBenchmark(fmt.Sprintf("engine/vt-skip/token/noskip/parallel=%d/n=1024", workers),
+			1024, workers, false, false, micro),
+		skipBenchmark("engine/vt-skip/token/full/serial/n=1024", 1024, 1, true, true, micro),
 		churnFloodBenchmark("engine/churn-flood/serial/n=1024", 1024, 8, 1, 2, micro),
 		churnFloodBenchmark(fmt.Sprintf("engine/churn-flood/parallel=%d/n=1024", workers),
 			1024, 8, workers, 2, micro),

@@ -241,6 +241,41 @@ func TestSteadyStateAllocsVTSparse(t *testing.T) {
 	}
 }
 
+// TestSteadyStateAllocsVTSparseParallel: the parallel occupancy-lane
+// gate — the sparse pulse/relay workload under the sharded engine at
+// workers 8 (occupancy folded in per destination shard during merge,
+// per-shard union walks, per-worker halt counters) must not allocate
+// per round beyond the constant per-Run pool startup, pinned the same
+// way as the other parallel guards: two Run calls of different lengths
+// must cost identical allocations, i.e. a steady-state sparse parallel
+// tick allocates exactly zero. Guards what BENCH.json records as
+// engine/vt-flood/sparse/parallel=8.
+func TestSteadyStateAllocsVTSparseParallel(t *testing.T) {
+	eng, err := perf.NewVTSparseEngine(1024, 8, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(1300); err != nil {
+		t.Fatal(err)
+	}
+	measure := func(rounds int) float64 {
+		return testing.AllocsPerRun(1, func() {
+			if _, err := eng.Run(rounds); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := measure(20)
+	long := measure(120)
+	if delta := long - short; delta != 0 {
+		t.Errorf("parallel sparse rounds allocate: %d rounds cost %.0f allocs, %d rounds cost %.0f (delta %.0f, want 0)",
+			20, short, 120, long, delta)
+	}
+	if short >= 20 {
+		t.Errorf("pool startup costs %.0f allocs, which is >= 1 per round over 20 rounds", short)
+	}
+}
+
 // TestSteadyStateAllocsVTSkip: the fast-forward gate — the token
 // workload (one message in flight, most ticks skipped in O(1)) must
 // keep skipped and executed ticks both allocation-free. MessagesByRound
@@ -252,7 +287,7 @@ func TestSteadyStateAllocsVTSparse(t *testing.T) {
 // vertex has hosted the token. Guards what BENCH.json records as
 // engine/vt-skip/*.
 func TestSteadyStateAllocsVTSkip(t *testing.T) {
-	eng, err := perf.NewVTSkipEngine(1024, false)
+	eng, err := perf.NewVTSkipEngine(1024, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}

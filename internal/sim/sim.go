@@ -342,6 +342,15 @@ type workerState struct {
 	delayClamped int64
 	maxMsgBits   int
 	allHalted    bool
+
+	// liveAlways / tdHalts are the sparse virtual-time halt bookkeeping
+	// of one round: how many live always-step procs this worker stepped,
+	// and how many TickDriven procs halted during their own Step. Reset
+	// by roundParallelVT before the step phase and summed by the
+	// coordinator after the merge barrier — the parallel split of
+	// roundSparseVT's liveAlways counter and tdLive decrements.
+	liveAlways int
+	tdHalts    int
 }
 
 // Engine drives a set of processes over a network in lock-step rounds.
@@ -452,22 +461,28 @@ type Engine struct {
 	// by every worker; serial rounds resolve into a local instead.
 	vtr vtRound
 
-	// --- sparse virtual-time delivery (serial scheduler only) ---
-	// sparse is set by ensureState when the serial virtual-time
-	// scheduler has at least one TickDriven proc attached: ring slots
-	// then maintain the occupancy overlay below and rounds step only
-	// the union of always-step vertices and occupied rows. Dense
-	// workloads (no marked procs) keep the plain lanes and pay nothing.
+	// --- sparse virtual-time delivery ---
+	// sparse is set by ensureState when the virtual-time scheduler has
+	// at least one TickDriven proc attached: ring slots then maintain
+	// the occupancy overlay below and rounds step only the union of
+	// always-step vertices and occupied rows — serially on the calling
+	// goroutine, in parallel via the phaseStepVTSparse/phaseMergeVTSparse
+	// pool phases. Dense workloads (no marked procs) keep the plain
+	// lanes and pay nothing.
 	sparse bool
 	// skip enables fast-forwarding over empty ticks when every live
 	// proc is TickDriven (default on; see SetTickSkip / TickDriven).
 	skip bool
-	// occRows[s] lists the vertex rows that may hold pending messages
-	// in ring slot s (append-on-first-message; entries can be stale
-	// after a Detach truncated the row, and duplicated after slot
-	// recycling — delivery sorts and dedupes). occCnt[s] is the exact
-	// pending-message count for slot s, so the all-empty-tick test is
-	// one load.
+	// occRows[shard*window+slot] lists the vertex rows of shard `shard`
+	// that may hold pending messages in ring slot `slot`
+	// (append-on-first-message; entries can be stale after a Detach
+	// truncated the row, and duplicated after slot recycling — delivery
+	// sorts and dedupes). occCnt[shard*window+slot] is the exact
+	// pending-message count, so the all-empty-tick test is an O(shards)
+	// reduction (see occSlotEmpty). The layout is shard-major so each
+	// merge worker owns one contiguous [window]-sized region; serial
+	// engines have one shard and the index degenerates to the slot
+	// itself, which is what the serial lanes address directly.
 	occRows [][]int32
 	occCnt  []int64
 	// alwaysStep lists (ascending) the vertices whose procs do NOT
@@ -489,6 +504,12 @@ type Engine struct {
 	ws      []*workerState // one per range worker, plus one for seq, plus [0] reused serially
 	acc     [][]routed     // per-sender outboxes (fallback rounds with Sequential procs)
 
+	// vtbReserve, when positive, is the per-bucket capacity every
+	// per-(worker, destination-shard, ring-slot) outbox is pre-sized to
+	// (see ReserveOutbox) — recorded here so the reservation survives
+	// the worker-state rebuilds of SetParallelism and topology growth.
+	vtbReserve int
+
 	// Persistent worker pool. Spawning goroutines per round allocates
 	// (closure + scheduler bookkeeping), which alone breaks the
 	// zero-allocs-per-round contract; instead Run starts len(ranges)+1
@@ -508,13 +529,15 @@ type Engine struct {
 type poolPhase uint8
 
 const (
-	phaseStepBuckets  poolPhase = iota // step contiguous range into shard buckets
-	phaseStepScan                      // step range into per-vertex outboxes (Sequential fallback)
-	phaseMergeBuckets                  // merge this worker's destination shard from buckets
-	phaseMergeScan                     // merge this worker's destination range from outboxes
-	phaseStepVT                        // step contiguous range into per-(shard, ring-slot) buckets
-	phaseMergeVT                       // merge this worker's destination shard into the ring
-	phaseExit                          // unwind the worker goroutine
+	phaseStepBuckets   poolPhase = iota // step contiguous range into shard buckets
+	phaseStepScan                       // step range into per-vertex outboxes (Sequential fallback)
+	phaseMergeBuckets                   // merge this worker's destination shard from buckets
+	phaseMergeScan                      // merge this worker's destination range from outboxes
+	phaseStepVT                         // step contiguous range into per-(shard, ring-slot) buckets
+	phaseMergeVT                        // merge this worker's destination shard into the ring
+	phaseStepVTSparse                   // step only occupied/always-step vertices of the range
+	phaseMergeVTSparse                  // merge this worker's shard, folding in occupancy
+	phaseExit                           // unwind the worker goroutine
 )
 
 // ErrSizeMismatch is returned when the number of attached processes does
@@ -732,8 +755,10 @@ func (e *Engine) Detach(v int) error {
 	// which delivery tolerates (it re-checks row lengths).
 	for s := range e.ring {
 		if row := e.ring[s][v]; len(row) > 0 {
-			if e.sparse && s < len(e.occCnt) {
-				e.occCnt[s] -= int64(len(row))
+			if e.sparse {
+				if idx := e.occIdx(v, s); idx < len(e.occCnt) {
+					e.occCnt[idx] -= int64(len(row))
+				}
 			}
 			e.ring[s][v] = row[:0]
 		}
@@ -786,8 +811,10 @@ func (e *Engine) AttachAt(v int, id NodeID, p Proc) error {
 	e.next[v] = e.next[v][:0]
 	for s := range e.ring {
 		if row := e.ring[s][v]; len(row) > 0 {
-			if e.sparse && s < len(e.occCnt) {
-				e.occCnt[s] -= int64(len(row))
+			if e.sparse {
+				if idx := e.occIdx(v, s); idx < len(e.occCnt) {
+					e.occCnt[idx] -= int64(len(row))
+				}
 			}
 			e.ring[s][v] = row[:0]
 		}
@@ -1016,6 +1043,69 @@ func (e *Engine) ReserveInbox(perRow int) {
 	}
 }
 
+// ReserveOutbox pre-sizes every per-(worker, destination-shard,
+// ring-slot) outbox bucket of the parallel virtual-time engine to hold
+// perBucket messages without growing, and — on sparse engines — every
+// occupied-row list to its shard's full size. It is ReserveInbox's
+// send-side twin: under a jittered delay model the per-bucket load is
+// stochastic, so bucket capacities converge to their high-water marks
+// only asymptotically and long runs keep paying rare amortized
+// regrowth; a workload that knows a burst bound can reserve it up front
+// and make warm parallel sparse rounds strictly allocation-free. The
+// reservation is remembered and re-applied when worker state is rebuilt
+// (SetParallelism, topology growth). No-op outside virtual-time mode.
+func (e *Engine) ReserveOutbox(perBucket int) {
+	if perBucket <= 0 || !e.vtMode() || e.procs == nil {
+		return
+	}
+	e.vtbReserve = perBucket
+	e.ensureState()
+	e.applyOutboxReserve()
+}
+
+// applyOutboxReserve carves each worker's outbox buckets out of one
+// slab at the recorded per-bucket capacity (three-index slices, so a
+// bucket overflowing its reservation regrows independently), and brings
+// occupied-row lists up to shard capacity. Buckets already at or above
+// the reservation are left alone.
+func (e *Engine) applyOutboxReserve() {
+	per := e.vtbReserve
+	if per <= 0 {
+		return
+	}
+	for _, ws := range e.ws {
+		if ws.vtb == nil {
+			continue
+		}
+		var slab []routed
+		for i := range ws.vtb {
+			if cap(ws.vtb[i]) >= per {
+				continue
+			}
+			if slab == nil {
+				slab = make([]routed, 0, len(ws.vtb)*per)
+			}
+			bucket := slab[len(slab) : len(slab) : len(slab)+per]
+			slab = slab[:len(slab)+per]
+			ws.vtb[i] = append(bucket, ws.vtb[i]...)
+		}
+	}
+	if !e.sparse {
+		return
+	}
+	for s, r := range e.ranges {
+		size := r[1] - r[0]
+		for slot := 0; slot < e.window; slot++ {
+			idx := s*e.window + slot
+			if idx < len(e.occRows) && cap(e.occRows[idx]) < size {
+				grown := make([]int32, len(e.occRows[idx]), size)
+				copy(grown, e.occRows[idx])
+				e.occRows[idx] = grown
+			}
+		}
+	}
+}
+
 // vtMode reports whether Run uses the virtual-time scheduler.
 func (e *Engine) vtMode() bool { return e.delay != nil || e.fault != nil }
 
@@ -1158,15 +1248,19 @@ func (e *Engine) ensureState() {
 				ws.vtb = make([][]routed, w*e.window)
 			}
 		}
-		// Sparse delivery needs a single scheduler goroutine (occupancy
-		// appends are unsynchronized) and at least one marked proc to
-		// pay for itself; rebuilding the overlay from the ring here
-		// means messages in flight across a reconfiguration are
-		// re-discovered, never stranded.
-		e.sparse = w == 1 && e.hasTickDriven()
+		// Sparse delivery needs at least one marked proc to pay for
+		// itself; rebuilding the overlay from the ring here means
+		// messages in flight across a reconfiguration (parallelism or
+		// capacity change) are re-discovered, never stranded. Parallel
+		// engines keep the overlay race-free by ownership: the serial
+		// lanes append single-threaded, the parallel lanes fold
+		// occupancy in during the merge phase, where each worker owns
+		// exactly its destination shard's overlay region.
+		e.sparse = e.hasTickDriven()
 		if e.sparse {
 			e.ensureOccupancy()
 		}
+		e.applyOutboxReserve()
 	} else {
 		e.sparse = false
 	}
@@ -1508,6 +1602,14 @@ func (e *Engine) poolWorker(i int) {
 			if i < w {
 				e.mergeShardVT(i)
 			}
+		case phaseStepVTSparse:
+			if i < w {
+				e.stepShardSparseVT(i)
+			}
+		case phaseMergeVTSparse:
+			if i < w {
+				e.mergeShardVTSparse(i)
+			}
 		}
 		e.poolWG.Done()
 	}
@@ -1628,6 +1730,26 @@ func (e *Engine) roundParallelVT(r int) bool {
 	for _, ws := range e.ws {
 		ws.allHalted = true
 	}
+	if e.sparse {
+		// The sparse lane: each worker walks the union of its shard's
+		// always-step vertices and occupied rows (stepShardSparseVT),
+		// then folds occupancy into its destination shard's overlay
+		// while merging (mergeShardVTSparse). The halt verdict mirrors
+		// roundSparseVT's: per-worker liveAlways/tdHalts counters are
+		// summed here, after the merge barrier published them.
+		for _, ws := range e.ws {
+			ws.liveAlways = 0
+			ws.tdHalts = 0
+		}
+		e.dispatch(phaseStepVTSparse)
+		e.dispatch(phaseMergeVTSparse)
+		liveAlways := 0
+		for _, ws := range e.ws {
+			liveAlways += ws.liveAlways
+			e.tdLive -= ws.tdHalts
+		}
+		return liveAlways == 0 && e.tdLive == 0
+	}
 	e.dispatch(phaseStepVT)
 	e.dispatch(phaseMergeVT)
 	allHalted := true
@@ -1694,16 +1816,18 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 			if parallel && len(e.seq) > 0 {
 				return r, ErrSequentialVirtualTime
 			}
-			// Fast-forward: an empty slot (one load, occCnt) plus an
-			// all-TickDriven live population means executing this tick
-			// would step nothing and deliver nothing — jump the virtual
-			// clock instead. A between-rounds hook pins the dense
-			// cadence (it observes every boundary), and the skipped
-			// tick's bookkeeping matches an executed empty tick exactly,
-			// so transcripts and metrics (minus TicksSkipped) are
-			// identical with skipping on or off.
-			if !parallel && e.sparse && e.skip && e.betweenRounds == nil &&
-				e.occCnt[e.metrics.Rounds%e.window] == 0 && e.vtCanSkip() {
+			// Fast-forward: an empty slot (an O(shards) occCnt
+			// reduction) plus an all-TickDriven live population means
+			// executing this tick would step nothing and deliver
+			// nothing — jump the virtual clock instead, serial and
+			// parallel alike (a skipped parallel tick bypasses the
+			// pool entirely; no phase is dispatched). A between-rounds
+			// hook pins the dense cadence (it observes every boundary),
+			// and the skipped tick's bookkeeping matches an executed
+			// empty tick exactly, so transcripts and metrics (minus
+			// TicksSkipped) are identical with skipping on or off.
+			if e.sparse && e.skip && e.betweenRounds == nil &&
+				e.occSlotEmpty(e.metrics.Rounds%e.window) && e.vtCanSkip() {
 				e.metrics.Rounds++
 				e.metrics.TicksSkipped++
 				e.metrics.MessagesByRound = append(e.metrics.MessagesByRound, 0)

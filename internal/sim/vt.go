@@ -16,11 +16,17 @@ package sim
 // arm consumes exactly the draws the model's own Delay/Drop would, so
 // transcripts are bit-identical to the interface path.
 //
-// Sparse delivery generalizes this from messages to ticks: each ring
-// slot tracks its pending-message count and a compact list of occupied
-// rows, so a tick's delivery scans and clears O(delivered) rows instead
-// of O(n), and an all-empty tick is detected in O(1) — at which point
-// the scheduler may fast-forward the virtual clock (see TickDriven).
+// Sparse delivery generalizes this from messages to ticks: each
+// (shard, ring slot) pair tracks its pending-message count and a
+// compact list of occupied rows, so a tick's delivery scans and clears
+// O(delivered) rows instead of O(n) — per worker, O(delivered/shards +
+// shard-local always-step) under the pool — and an all-empty tick is
+// detected in O(shards), at which point the scheduler may fast-forward
+// the virtual clock (see TickDriven). The parallel overlay is race-free
+// by ownership: step worker i reads and clears only shard i's
+// current-slot region, merge worker s appends only to shard s's
+// regions, the two phases are barrier-separated, and no message can
+// target the slot being delivered (delays are >= 1).
 
 import (
 	"slices"
@@ -35,11 +41,12 @@ import (
 // may transition only during its own Step — never as a side effect of
 // another process's Step.
 //
-// When every live process attached to a serial virtual-time engine is
+// When every live process attached to a virtual-time engine is
 // TickDriven, executing an empty tick is provably a no-op, so the
-// scheduler jumps the virtual clock over it in O(1) (counted in
-// Metrics.TicksSkipped; Rounds and MessagesByRound advance as if the
-// tick had run). Round-driven processes — timers, beacon schedules,
+// scheduler — serial or sharded-parallel — jumps the virtual clock over
+// it (counted in Metrics.TicksSkipped; Rounds and MessagesByRound
+// advance as if the tick had run). The emptiness test is one occCnt
+// load per shard. Round-driven processes — timers, beacon schedules,
 // flood sources that broadcast unprompted — must NOT carry the marker:
 // they are stepped on every tick, empty or not, and their presence
 // disables fast-forwarding (but not sparse delivery) automatically.
@@ -485,27 +492,157 @@ func (e *Engine) recountTickDriven() {
 	e.tdLive = live
 }
 
-// ensureOccupancy (re)builds the per-slot occupancy overlay from the
+// occIdx maps (vertex, ring slot) to the occupancy overlay index. The
+// layout is shard-major — occ[shard*window+slot] — so each merge worker
+// owns one contiguous region and folds occupancy in race-free. Serial
+// engines have one shard and the index degenerates to the slot itself,
+// which is what the serial lanes (deliverVT, roundSparseVT) address
+// directly. The shardOf length guard covers mid-hook growth: a vertex
+// beyond the old capacity lands in slot-only indexing, and the pending
+// regrow rebuilds the overlay from ring ground truth before the next
+// round anyway.
+func (e *Engine) occIdx(v, slot int) int {
+	if len(e.ranges) > 1 && v < len(e.shardOf) {
+		return int(e.shardOf[v])*e.window + slot
+	}
+	return slot
+}
+
+// occSlotEmpty reports whether ring slot `slot` holds no pending
+// messages in any shard — the all-empty-tick test behind fast-forward,
+// an O(shards) reduction over the shard-major overlay.
+func (e *Engine) occSlotEmpty(slot int) bool {
+	for idx := slot; idx < len(e.occCnt); idx += e.window {
+		if e.occCnt[idx] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureOccupancy (re)builds the shard-major occupancy overlay from the
 // ring's ground truth. Called whenever ensureState enables sparse mode,
 // so messages left in flight across a parallelism or capacity change
-// are re-discovered rather than stranded.
+// are re-discovered rather than stranded — and re-homed to whichever
+// shard owns their destination under the new ranges.
 func (e *Engine) ensureOccupancy() {
 	w := e.window
-	if len(e.occCnt) != w {
-		e.occCnt = make([]int64, w)
-		e.occRows = make([][]int32, w)
+	shards := len(e.ranges)
+	if shards < 1 {
+		shards = 1
+	}
+	total := shards * w
+	if len(e.occCnt) != total {
+		e.occCnt = make([]int64, total)
+		e.occRows = make([][]int32, total)
+	}
+	for i := range e.occCnt {
+		e.occCnt[i] = 0
+		e.occRows[i] = e.occRows[i][:0]
 	}
 	for s := 0; s < w; s++ {
-		rows := e.occRows[s][:0]
-		cnt := int64(0)
 		for v, row := range e.ring[s] {
 			if len(row) > 0 {
-				rows = append(rows, int32(v))
-				cnt += int64(len(row))
+				idx := e.occIdx(v, s)
+				e.occRows[idx] = append(e.occRows[idx], int32(v))
+				e.occCnt[idx] += int64(len(row))
 			}
 		}
-		e.occRows[s] = rows
-		e.occCnt[s] = cnt
+	}
+}
+
+// stepShardSparseVT is the sparse step phase of one parallel
+// virtual-time round: worker i walks the union of its shard's
+// always-step vertices (binary-searched out of the engine-wide sorted
+// list) and the rows occupied in this tick's ring slot, in ascending
+// vertex order — roundSparseVT's walk restricted to the shard, which is
+// the dense parallel lane's order restricted to vertices whose Step
+// could observably differ from a no-op. Occupancy reads and clears are
+// worker-private: the overlay region belongs to shard i, and in-flight
+// messages can never target the tick being delivered (delays are >= 1),
+// so the merge phase never touches what this phase just cleared. Halt
+// bookkeeping lands in the worker-local liveAlways/tdHalts counters;
+// the coordinator folds them after the merge barrier.
+func (e *Engine) stepShardSparseVT(i int) {
+	ws := e.ws[i]
+	r := e.round
+	idx := i*e.window + e.tick%e.window
+	occ := e.occRows[idx]
+	slices.Sort(occ)
+	lo, hi := e.ranges[i][0], e.ranges[i][1]
+	always := e.alwaysStep
+	aLo, _ := slices.BinarySearch(always, int32(lo))
+	aHi, _ := slices.BinarySearch(always, int32(hi))
+	always = always[aLo:aHi]
+	box := e.cur
+	ai, oi := 0, 0
+	prev := int32(-1)
+	for ai < len(always) || oi < len(occ) {
+		var v32 int32
+		if oi >= len(occ) || (ai < len(always) && always[ai] <= occ[oi]) {
+			v32 = always[ai]
+			ai++
+		} else {
+			v32 = occ[oi]
+			oi++
+		}
+		if v32 == prev {
+			continue
+		}
+		prev = v32
+		v := int(v32)
+		p := e.procs[v]
+		if p == nil || p.Halted() {
+			box[v] = box[v][:0]
+			continue
+		}
+		td := e.isTD[v]
+		if !td {
+			ws.liveAlways++
+		}
+		e.stepVertexVT(v, r, ws)
+		if td && p.Halted() {
+			ws.tdHalts++
+		}
+	}
+	e.occRows[idx] = occ[:0]
+	e.occCnt[idx] = 0
+}
+
+// mergeShardVTSparse is mergeShardVT plus occupancy folding: while
+// draining every worker's buckets for destination shard s into the ring
+// (same slot-major, worker-order walk — ascending sender order, so
+// transcripts stay byte-identical to serial), it appends each row that
+// transitions empty -> nonempty to the shard's occupied-row list and
+// counts every delivered message, exactly the accounting deliverVT does
+// on the serial path. Rows left nonempty by a stale overlay entry
+// (Detach truncation, slot recycling) duplicate their entry here, which
+// delivery's sort+dedupe tolerates — the same contract as serial.
+func (e *Engine) mergeShardVTSparse(s int) {
+	window := e.window
+	for slot := 0; slot < window; slot++ {
+		box := e.ring[slot]
+		idx := s*window + slot
+		rows := e.occRows[idx]
+		cnt := e.occCnt[idx]
+		for i := range e.ranges {
+			bucket := e.ws[i].vtb[idx]
+			for _, m := range bucket {
+				row := box[m.to]
+				if len(row) == 0 {
+					rows = append(rows, m.to)
+				}
+				box[m.to] = append(row, Incoming{
+					From:    int(m.from),
+					FromID:  e.ids[m.from],
+					Payload: m.payload,
+				})
+				cnt++
+			}
+			e.ws[i].vtb[idx] = bucket[:0]
+		}
+		e.occRows[idx] = rows
+		e.occCnt[idx] = cnt
 	}
 }
 
@@ -518,6 +655,14 @@ func (e *Engine) hasTickDriven() bool {
 	}
 	return false
 }
+
+// HasTickDriven reports whether any currently attached process carries
+// the TickDriven marker — i.e. whether sparse delivery is active and
+// tick fast-forwarding can ever engage on this engine. The CLI uses it
+// to fail fast when -tickskip is requested for a protocol whose
+// processes are all round-driven (fast-forwarding would be structurally
+// inert, so an explicit request for it is a configuration error).
+func (e *Engine) HasTickDriven() bool { return e.hasTickDriven() }
 
 // SetTickSkip enables or disables virtual-tick fast-forwarding (default
 // on). Skipping never changes transcripts or metrics other than

@@ -102,8 +102,14 @@ type sparseRun struct {
 
 // runSparseWorkload executes the workload on H(64,8) for the given
 // configuration and returns the combined per-vertex digest plus final
-// metrics.
-func runSparseWorkload(t *testing.T, workers int, delaySpec, faultSpec string, marked, skip bool, rounds int) sparseRun {
+// metrics. churn installs a between-rounds hook that recycles one relay
+// slot every 8 rounds — Detach (dropping its in-flight deliveries and
+// leaving stale occupancy entries behind), then AttachAt with the same
+// ID and a fresh relay — a schedule that is a pure function of the
+// round index, so it is identical across worker counts and skip
+// settings. (A non-nil hook pins the dense tick cadence, so churn cells
+// never skip.)
+func runSparseWorkload(t *testing.T, workers int, delaySpec, faultSpec string, marked, skip, churn bool, rounds int) sparseRun {
 	t.Helper()
 	const n, d = 64, 8
 	g := mustHND(t, n, d, 1201)
@@ -139,6 +145,28 @@ func runSparseWorkload(t *testing.T, workers int, delaySpec, faultSpec string, m
 			procs[v] = p
 		}
 	}
+	if churn {
+		eng.SetBetweenRounds(func(round int) error {
+			if round%8 != 5 {
+				return nil
+			}
+			v := 1 + (round/8)%(n-1)
+			id := eng.ID(v)
+			if err := eng.Detach(v); err != nil {
+				return err
+			}
+			// The recycled slot's digest restarts from zero — identically
+			// in every configuration, since the schedule is fixed.
+			if marked {
+				p := &markedRelay{}
+				sums[v], parities[v] = &p.sum, &p.parity
+				return eng.AttachAt(v, id, p)
+			}
+			p := &plainRelay{}
+			sums[v], parities[v] = &p.sum, &p.parity
+			return eng.AttachAt(v, id, p)
+		})
+	}
 	if err := eng.Attach(procs); err != nil {
 		t.Fatal(err)
 	}
@@ -171,43 +199,55 @@ func sameModuloSkipped(a, b sim.Metrics) bool {
 }
 
 // TestVTSkipTranscriptEquality sweeps every E19 delay spec against
-// every E20 fault spec and pins the workload's transcript digest and
-// metrics across: serial with skipping off (the reference), serial with
-// skipping on, the sparse lane vs the dense lane (marked vs unmarked
-// relays), and workers 3 and 8. Only TicksSkipped may differ.
+// every E20 fault spec, with and without membership churn, and pins the
+// workload's transcript digest and metrics across: serial with skipping
+// off (the reference), serial with skipping on, the sparse lane vs the
+// dense lane (marked vs unmarked relays), and the parallel sparse lane
+// at workers 3 and 8 with skipping on and off. Only TicksSkipped and
+// the worker count may differ between cells.
 func TestVTSkipTranscriptEquality(t *testing.T) {
 	delays := []string{"unit", "gst:8/uniform:1-6", "gst:32/uniform:1-6", "uniform:1-6"}
 	faults := []string{"none", "partition:2@10-40", "partition:2@10-70", "partition:2@10"}
 	const rounds = 96
+	type variant struct {
+		name    string
+		workers int
+		marked  bool
+		skip    bool
+	}
+	variants := []variant{
+		{"serial-skip", 1, true, true},
+		{"serial-dense", 1, false, true},
+		{"workers-3-noskip", 3, true, false},
+		{"workers-3-skip", 3, true, true},
+		{"workers-8-noskip", 8, true, false},
+		{"workers-8-skip", 8, true, true},
+		{"workers-8-dense", 8, false, true},
+	}
 	for _, ds := range delays {
 		for _, fs := range faults {
-			t.Run(ds+"/"+fs, func(t *testing.T) {
-				ref := runSparseWorkload(t, 1, ds, fs, true, false, rounds)
-				if ref.metrics.TicksSkipped != 0 {
-					t.Fatalf("skip disabled but TicksSkipped = %d", ref.metrics.TicksSkipped)
+			for _, churn := range []bool{false, true} {
+				name := ds + "/" + fs
+				if churn {
+					name += "/churn"
 				}
-				variants := []struct {
-					name    string
-					workers int
-					marked  bool
-					skip    bool
-				}{
-					{"serial-skip", 1, true, true},
-					{"serial-dense", 1, false, true},
-					{"workers-3", 3, true, true},
-					{"workers-8", 8, true, true},
-				}
-				for _, v := range variants {
-					got := runSparseWorkload(t, v.workers, ds, fs, v.marked, v.skip, rounds)
-					if got.digest != ref.digest {
-						t.Errorf("%s: digest %s != reference %s", v.name, got.digest, ref.digest)
+				t.Run(name, func(t *testing.T) {
+					ref := runSparseWorkload(t, 1, ds, fs, true, false, churn, rounds)
+					if ref.metrics.TicksSkipped != 0 {
+						t.Fatalf("skip disabled but TicksSkipped = %d", ref.metrics.TicksSkipped)
 					}
-					if !sameModuloSkipped(got.metrics, ref.metrics) {
-						t.Errorf("%s: metrics diverge beyond TicksSkipped:\n got %+v\nwant %+v",
-							v.name, got.metrics, ref.metrics)
+					for _, v := range variants {
+						got := runSparseWorkload(t, v.workers, ds, fs, v.marked, v.skip, churn, rounds)
+						if got.digest != ref.digest {
+							t.Errorf("%s: digest %s != reference %s", v.name, got.digest, ref.digest)
+						}
+						if !sameModuloSkipped(got.metrics, ref.metrics) {
+							t.Errorf("%s: metrics diverge beyond TicksSkipped:\n got %+v\nwant %+v",
+								v.name, got.metrics, ref.metrics)
+						}
 					}
-				}
-			})
+				})
+			}
 		}
 	}
 }
@@ -216,13 +256,22 @@ func TestVTSkipTranscriptEquality(t *testing.T) {
 // marked workload under jitter (one message in flight leaves most ticks
 // empty) — guarding against a silent regression where skipping is
 // always structurally disabled and the equality tests above pass
-// vacuously.
+// vacuously — and that the parallel scheduler skips exactly the ticks
+// the serial one does (the O(shards) all-empty reduction agrees with
+// the serial one-load test).
 func TestVTSkipEngages(t *testing.T) {
-	got := runSparseWorkload(t, 1, "uniform:1-6", "none", true, true, 96)
+	got := runSparseWorkload(t, 1, "uniform:1-6", "none", true, true, false, 96)
 	if got.metrics.TicksSkipped == 0 {
 		t.Fatal("marked jittered workload skipped no ticks; fast-forward never engaged")
 	}
-	dense := runSparseWorkload(t, 1, "uniform:1-6", "none", false, true, 96)
+	for _, workers := range []int{3, 8} {
+		par := runSparseWorkload(t, workers, "uniform:1-6", "none", true, true, false, 96)
+		if par.metrics.TicksSkipped != got.metrics.TicksSkipped {
+			t.Errorf("workers=%d skipped %d ticks, serial skipped %d; fast-forward must agree",
+				workers, par.metrics.TicksSkipped, got.metrics.TicksSkipped)
+		}
+	}
+	dense := runSparseWorkload(t, 1, "uniform:1-6", "none", false, true, false, 96)
 	if dense.metrics.TicksSkipped != 0 {
 		t.Fatalf("unmarked workload skipped %d ticks; dense lane must execute every tick",
 			dense.metrics.TicksSkipped)
@@ -288,7 +337,7 @@ func TestVTDropAllTerminates(t *testing.T) {
 // parity counter folded by every relay stays zero while the intra-group
 // traffic keeps flowing.
 func TestVTWholeRunPartition(t *testing.T) {
-	got := runSparseWorkload(t, 1, "uniform:1-4", "partition:2@0", true, true, 96)
+	got := runSparseWorkload(t, 1, "uniform:1-4", "partition:2@0", true, true, false, 96)
 	if got.parity != 0 {
 		t.Errorf("%d cross-parity deliveries under a whole-run partition, want 0", got.parity)
 	}
