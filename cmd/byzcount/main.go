@@ -15,13 +15,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"byzcount/internal/counting"
@@ -66,6 +69,8 @@ func run(args []string) error {
 		return runCmd(args[1:])
 	case "matrix":
 		return matrixCmd(args[1:])
+	case "sweep":
+		return sweepCmd(args[1:])
 	case "bench":
 		return benchCmd(args[1:])
 	case "graph":
@@ -86,6 +91,7 @@ func usage() {
   byzcount all [flags]                  run every experiment
   byzcount run [flags]                  run a single scenario instance
   byzcount matrix [flags]               run a slice of the scenario grid
+  byzcount sweep [flags]                durable matrix: crash-recoverable, resumable
   byzcount bench [flags]                run the perf suite and write BENCH.json
   byzcount graph [flags]                generate a substrate and print its statistics
 flags for expt/all: -seed N  -trials N  -quick  -parallel N  -subcache=false
@@ -115,10 +121,19 @@ flags for matrix:   comma-separated axis lists -proto -substrate -adversary
                     plus -churn-stop R  -d D
                     -max-phase P  -stop-frac F  -seed N  -trials N  -parallel N
                     -format table|csv  -subcache=false
+flags for sweep:    the matrix grid flags, plus exactly one of
+                    -out DIR (fresh sweep) | -resume DIR (continue one)
+                    -retries N  -cell-timeout D  -progress
+                    (SIGINT/SIGTERM drain in-flight cells and leave DIR
+                     resumable; resumed tables are byte-identical to an
+                     uninterrupted run; panicking cells are quarantined
+                     with their sub-seed and the rest of the grid completes,
+                     exit status nonzero)
 flags for bench:    -quick  -out FILE  -filter SUBSTR  -parallel N
                     -scaling (n x workers sweep on the implicit lattice)
                     -require-clean (refuse a dirty-tree snapshot)
                     -diff [-tolerance F] OLD.json NEW.json (exit 1 past tolerance)
+                    -tolerance-override name=F|prefix*=F (repeatable, for -diff)
 flags for graph:    -kind hnd|regular|smallworld|ring|torus|dumbbell  -n N  -d D
                     -seed N  -out FILE`)
 }
@@ -181,13 +196,17 @@ func benchCmd(args []string) error {
 		"compare two records instead of benchmarking: bench -diff [-tolerance F] old.json new.json")
 	tolerance := fs.Float64("tolerance", 0.25,
 		"allowed relative ns/op slowdown per workload for -diff (0.25 = 1.25x)")
+	overrides := map[string]float64{}
+	fs.Func("tolerance-override",
+		"per-workload -diff tolerance as name=tol or prefix*=tol (repeatable; exact beats prefix, longest prefix wins)",
+		func(spec string) error { return perf.ParseOverride(overrides, spec) })
 	requireClean := fs.Bool("require-clean", false,
 		"refuse to snapshot from a dirty working tree (CI sets this: a dirty record's git_sha lies)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *diff {
-		return benchDiff(fs.Args(), *tolerance)
+		return benchDiff(fs.Args(), *tolerance, overrides)
 	}
 	suite := perf.Suite(perf.SuiteConfig{Quick: *quick, Parallel: *parallel, Filter: *filter})
 	if *scaling {
@@ -232,18 +251,18 @@ func benchCmd(args []string) error {
 // benchDiff compares two BENCH.json records and fails loudly when any
 // common workload slowed past the tolerance — the enforcement half of
 // the committed-snapshot trajectory.
-func benchDiff(paths []string, tolerance float64) error {
+func benchDiff(paths []string, tolerance float64, overrides map[string]float64) error {
 	if len(paths) != 2 {
 		return fmt.Errorf("bench -diff takes exactly two records: bench -diff old.json new.json")
 	}
-	rep, err := perf.Diff(paths[0], paths[1], tolerance)
+	rep, err := perf.DiffOverrides(paths[0], paths[1], tolerance, overrides)
 	if err != nil {
 		return err
 	}
 	fmt.Print(rep.Render())
 	if regs := rep.Regressions(); len(regs) > 0 {
-		return fmt.Errorf("%d workload(s) regressed past the %.0f%% tolerance (worst: %s at %.2fx)",
-			len(regs), tolerance*100, regs[0].Name, regs[0].Ratio)
+		return fmt.Errorf("%d workload(s) regressed past tolerance (worst: %s at %.2fx, tol %.0f%%)",
+			len(regs), regs[0].Name, regs[0].Ratio, rep.ToleranceFor(regs[0].Name)*100)
 	}
 	fmt.Printf("no regressions past %.0f%% tolerance (%d common, %d added, %d removed)\n",
 		tolerance*100, len(rep.Common), len(rep.Added), len(rep.Removed))
@@ -515,8 +534,12 @@ func splitFloats(s string) ([]float64, error) {
 // matrixCmd enumerates a slice of the scenario grid — the cross-product
 // of every comma-separated axis list — and runs it through the
 // concurrent sweep driver.
-func matrixCmd(args []string) error {
-	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
+// matrixFlags registers the shared grid flags (axes, shape, seed,
+// trials, parallelism) on fs and returns a builder that assembles the
+// Matrix and Config after fs.Parse. `byzcount matrix` and `byzcount
+// sweep` accept the identical grid vocabulary — the sweep is the
+// durable execution of the same cells.
+func matrixFlags(fs *flag.FlagSet) func() (expt.Matrix, expt.Config, error) {
 	protos := fs.String("proto", "congest", "comma-separated protocol axis")
 	substrates := fs.String("substrate", "hnd", "comma-separated substrate axis")
 	adversaries := fs.String("adversary", "none", "comma-separated adversary axis")
@@ -532,47 +555,60 @@ func matrixCmd(args []string) error {
 	stopFrac := fs.Float64("stop-frac", 0, "static cells: stop once this fraction of honest nodes decided")
 	seed := fs.Uint64("seed", 42, "root random seed")
 	trials := fs.Int("trials", 3, "trials per cell")
-	format := fs.String("format", "table", "output format: table|csv")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"max concurrent cells; tables are identical for every value")
 	subcache := fs.Bool("subcache", true,
 		"reuse identically drawn substrates across cells (tables are identical either way)")
+	return func() (expt.Matrix, expt.Config, error) {
+		expt.SetSubstrateCache(*subcache)
+		nList, err := splitInts(*ns)
+		if err != nil {
+			return expt.Matrix{}, expt.Config{}, err
+		}
+		fracList, err := splitFloats(*byzFracs)
+		if err != nil {
+			return expt.Matrix{}, expt.Config{}, err
+		}
+		churnList, err := splitInts(*churns)
+		if err != nil {
+			return expt.Matrix{}, expt.Config{}, err
+		}
+		profiles := make([]expt.ChurnProfile, 0, len(churnList))
+		for _, k := range churnList {
+			profiles = append(profiles, expt.ChurnProfile{Leaves: k, Joins: k, StopAfter: *churnStop, Mixed: true})
+		}
+		m := expt.Matrix{
+			Protos:      splitList(*protos),
+			Substrates:  splitList(*substrates),
+			Adversaries: splitList(*adversaries),
+			Placements:  splitList(*placements),
+			Ns:          nList,
+			ByzFracs:    fracList,
+			Churns:      profiles,
+			Delays:      splitList(*delays),
+			Faults:      splitList(*faults),
+			D:           *d,
+			MaxPhase:    *maxPhase,
+			StopFrac:    *stopFrac,
+		}
+		return m, expt.Config{Seed: *seed, Trials: *trials, Parallel: *parallel}, nil
+	}
+}
+
+func matrixCmd(args []string) error {
+	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
+	build := matrixFlags(fs)
+	format := fs.String("format", "table", "output format: table|csv")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	expt.SetSubstrateCache(*subcache)
-	nList, err := splitInts(*ns)
+	m, cfg, err := build()
 	if err != nil {
 		return err
 	}
-	fracList, err := splitFloats(*byzFracs)
-	if err != nil {
-		return err
-	}
-	churnList, err := splitInts(*churns)
-	if err != nil {
-		return err
-	}
-	profiles := make([]expt.ChurnProfile, 0, len(churnList))
-	for _, k := range churnList {
-		profiles = append(profiles, expt.ChurnProfile{Leaves: k, Joins: k, StopAfter: *churnStop, Mixed: true})
-	}
-	m := expt.Matrix{
-		Protos:      splitList(*protos),
-		Substrates:  splitList(*substrates),
-		Adversaries: splitList(*adversaries),
-		Placements:  splitList(*placements),
-		Ns:          nList,
-		ByzFracs:    fracList,
-		Churns:      profiles,
-		Delays:      splitList(*delays),
-		Faults:      splitList(*faults),
-		D:           *d,
-		MaxPhase:    *maxPhase,
-		StopFrac:    *stopFrac,
-	}
-	cfg := expt.Config{Seed: *seed, Trials: *trials, Parallel: *parallel}
-	tbl, err := expt.RunMatrix(cfg, m)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	tbl, err := expt.RunMatrixCtx(ctx, cfg, m)
 	if err != nil {
 		return err
 	}
@@ -580,6 +616,69 @@ func matrixCmd(args []string) error {
 		fmt.Printf("# %s\n%s\n", tbl.Title, tbl.CSV())
 	} else {
 		fmt.Println(tbl.Render())
+	}
+	return nil
+}
+
+// sweepCmd is the durable matrix: the same grid as matrixCmd executed
+// through the WAL-backed crash-recoverable driver. SIGINT/SIGTERM
+// drain in-flight cells, flush the log, and leave a resumable
+// directory; `-resume` picks an interrupted sweep back up and produces
+// tables byte-identical to an uninterrupted run.
+func sweepCmd(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	build := matrixFlags(fs)
+	out := fs.String("out", "", "sweep directory to create (manifest + cell log + outputs)")
+	resume := fs.String("resume", "", "resume the interrupted sweep in this directory (grid flags are ignored; the manifest wins)")
+	retries := fs.Int("retries", 0, "retries per transiently failing cell before quarantine (0 = default 2, negative = none)")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell attempt timeout; exceeded cells are quarantined (0 = none)")
+	progress := fs.Bool("progress", false, "print a progress line after every completed cell")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*out == "") == (*resume == "") {
+		return fmt.Errorf("sweep needs exactly one of -out DIR (fresh) or -resume DIR (continue)")
+	}
+	m, cfg, err := build()
+	if err != nil {
+		return err
+	}
+	sha, _ := perf.GitState()
+	opts := expt.SweepOptions{
+		Retries:     *retries,
+		CellTimeout: *cellTimeout,
+		GitSHA:      sha,
+	}
+	if *progress {
+		opts.OnCell = func(done, total int) {
+			fmt.Printf("sweep: %d/%d cells\n", done, total)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	dir := *out
+	var sum *expt.SweepSummary
+	if *resume != "" {
+		dir = *resume
+		sum, err = expt.ResumeMatrixSweep(ctx, dir, cfg, opts)
+	} else {
+		sum, err = expt.RunMatrixSweep(ctx, cfg, m, dir, opts)
+	}
+	if sum != nil && sum.Interrupted {
+		return fmt.Errorf("interrupted with %d/%d cells done; resume with: byzcount sweep -resume %s",
+			sum.Completed+len(sum.Quarantined), sum.Total, dir)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(sum.Table.Render())
+	fmt.Printf("sweep complete: %d cells (%d replayed from log) -> %s\n", sum.Total, sum.Replayed, dir)
+	if n := len(sum.Quarantined); n > 0 {
+		for _, q := range sum.Quarantined {
+			fmt.Fprintf(os.Stderr, "quarantined: %s trial %d (seed %d, %d attempts): %s\n",
+				q.Row, q.Trial, q.Seed, q.Attempts, q.Err)
+		}
+		return fmt.Errorf("%d cell(s) quarantined; healthy cells completed (see %s/summary.jsonl)", n, dir)
 	}
 	return nil
 }

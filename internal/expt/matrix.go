@@ -6,6 +6,7 @@ package expt
 // fixed experiments, for exploring combinations no E-runner hard-wires.
 
 import (
+	"context"
 	"fmt"
 
 	"byzcount/internal/counting"
@@ -157,12 +158,97 @@ func dedupeScenarios(scs []Scenario) []Scenario {
 	return out
 }
 
+// The per-cell metric vector both matrix drivers share: RunMatrix
+// retains the vectors per row and feeds batch stats.Mean; the durable
+// sweep streams them through stats.Online in trial order. The two ways
+// produce byte-identical table rows because the plain running sum adds
+// the same float64s in the same order the batch Mean does.
+const (
+	cellByz = iota
+	cellRounds
+	cellDecided
+	cellBounded
+	cellMedian
+	cellMsgs
+	numCellMetrics
+)
+
+// matrixMetricCols are the aggregated metric column names, in cell
+// vector order (the full table row prepends "scenario" and interposes
+// the analytic log_d(n)).
+var matrixMetricCols = []string{"byz", "rounds", "decided_frac", "bounded_frac", "median_est", "msgs"}
+
+// matrixCellVals runs one (scenario, trial) cell and distills the
+// outcome into the shared metric vector. This is the single definition
+// of what a matrix cell measures — the in-memory table, the durable
+// WAL records, and the JSONL summaries all consume it.
+func matrixCellVals(ctx context.Context, sc Scenario, rng *xrand.Rand) ([numCellMetrics]float64, error) {
+	var out [numCellMetrics]float64
+	r, err := RunScenario(sc, rng, RunOptions{Context: ctx})
+	if err != nil {
+		return out, err
+	}
+	out[cellRounds] = float64(r.Rounds)
+	out[cellMsgs] = float64(r.Metrics.Messages)
+	honestTotal, dec := 0, 0
+	logd := counting.LogD(sc.withDefaults().N, sc.withDefaults().D)
+	bnd := 0
+	for i, o := range r.Outcomes {
+		if !r.Honest[i] {
+			out[cellByz]++
+			continue
+		}
+		honestTotal++
+		if !o.Decided {
+			continue
+		}
+		dec++
+		if float64(o.Estimate) >= 0.5*logd && float64(o.Estimate) <= 2*logd+2 {
+			bnd++
+		}
+	}
+	if honestTotal > 0 {
+		out[cellDecided] = float64(dec) / float64(honestTotal)
+		out[cellBounded] = float64(bnd) / float64(honestTotal)
+	}
+	vals := counting.DecidedEstimates(r.Outcomes, r.Honest)
+	out[cellMedian] = stats.Median(stats.Ints(vals))
+	return out, nil
+}
+
+// matrixTable builds the empty matrix table shell shared by RunMatrix
+// and the durable sweep (identical Columns and Notes are part of the
+// byte-identity contract between the two paths).
+func matrixTable(cells, trials, skipped int) *Table {
+	t := &Table{
+		ID:      "matrix",
+		Title:   fmt.Sprintf("Scenario matrix: %d cells x %d trials", cells, trials),
+		Columns: []string{"scenario", "byz", "rounds", "decided_frac", "bounded_frac", "median_est", "log_d(n)", "msgs"},
+	}
+	t.Notes = append(t.Notes,
+		"bounded_frac uses the CONGEST band [0.5*log_d n, 2*log_d n + 2]; interpret it per protocol",
+		"each cell's randomness is the pure sub-seed of its label: adding or removing cells never perturbs the others")
+	if skipped > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("%d cells of the requested cross-product were skipped as incompatible axis combinations", skipped))
+	}
+	return t
+}
+
 // RunMatrix executes every cell of the matrix through the sweep driver
 // (cfg.Trials trials per cell, cfg.Parallel concurrent cells, each
 // cell's randomness the pure sub-seed of its label) and renders one row
 // per cell. Tables are byte-identical for every Parallel value, like
 // every experiment.
 func RunMatrix(cfg Config, m Matrix) (*Table, error) {
+	return RunMatrixCtx(context.Background(), cfg, m)
+}
+
+// RunMatrixCtx is RunMatrix with cooperative cancellation: in-flight
+// engines abort at their next round boundary and unstarted cells are
+// never launched. A canceled matrix returns the context's error, not a
+// partial table.
+func RunMatrixCtx(ctx context.Context, cfg Config, m Matrix) (*Table, error) {
 	scs, skipped, err := m.Scenarios()
 	if err != nil {
 		return nil, err
@@ -170,50 +256,12 @@ func RunMatrix(cfg Config, m Matrix) (*Table, error) {
 	if len(scs) == 0 {
 		return nil, fmt.Errorf("expt: empty matrix (%d cells skipped as incompatible)", skipped)
 	}
-	t := &Table{
-		ID:      "matrix",
-		Title:   fmt.Sprintf("Scenario matrix: %d cells x %d trials", len(scs), cfg.trials()),
-		Columns: []string{"scenario", "byz", "rounds", "decided_frac", "bounded_frac", "median_est", "log_d(n)", "msgs"},
-	}
+	t := matrixTable(len(scs), cfg.trials(), skipped)
 	root := xrand.New(cfg.Seed)
-	type res struct {
-		byz, rounds, decided, bounded, median, msgs float64
-	}
-	results, err := sweepRows(cfg, root, scs,
+	results, err := sweepRowsCtx(ctx, cfg, root, scs,
 		func(sc Scenario) string { return sc.Label() },
-		func(sc Scenario, trial int, rng *xrand.Rand) (res, error) {
-			r, err := RunScenario(sc, rng, RunOptions{})
-			if err != nil {
-				return res{}, err
-			}
-			out := res{
-				rounds: float64(r.Rounds),
-				msgs:   float64(r.Metrics.Messages),
-			}
-			honestTotal, dec := 0, 0
-			logd := counting.LogD(sc.withDefaults().N, sc.withDefaults().D)
-			bnd := 0
-			for i, o := range r.Outcomes {
-				if !r.Honest[i] {
-					out.byz++
-					continue
-				}
-				honestTotal++
-				if !o.Decided {
-					continue
-				}
-				dec++
-				if float64(o.Estimate) >= 0.5*logd && float64(o.Estimate) <= 2*logd+2 {
-					bnd++
-				}
-			}
-			if honestTotal > 0 {
-				out.decided = float64(dec) / float64(honestTotal)
-				out.bounded = float64(bnd) / float64(honestTotal)
-			}
-			vals := counting.DecidedEstimates(r.Outcomes, r.Honest)
-			out.median = stats.Median(stats.Ints(vals))
-			return out, nil
+		func(ctx context.Context, sc Scenario, trial int, rng *xrand.Rand) ([numCellMetrics]float64, error) {
+			return matrixCellVals(ctx, sc, rng)
 		})
 	if err != nil {
 		return nil, err
@@ -222,20 +270,13 @@ func RunMatrix(cfg Config, m Matrix) (*Table, error) {
 		rs := results[i]
 		scd := sc.withDefaults()
 		t.AddRow(sc.Label(),
-			stats.Mean(column(rs, func(r res) float64 { return r.byz })),
-			stats.Mean(column(rs, func(r res) float64 { return r.rounds })),
-			stats.Mean(column(rs, func(r res) float64 { return r.decided })),
-			stats.Mean(column(rs, func(r res) float64 { return r.bounded })),
-			stats.Mean(column(rs, func(r res) float64 { return r.median })),
+			stats.Mean(column(rs, func(r [numCellMetrics]float64) float64 { return r[cellByz] })),
+			stats.Mean(column(rs, func(r [numCellMetrics]float64) float64 { return r[cellRounds] })),
+			stats.Mean(column(rs, func(r [numCellMetrics]float64) float64 { return r[cellDecided] })),
+			stats.Mean(column(rs, func(r [numCellMetrics]float64) float64 { return r[cellBounded] })),
+			stats.Mean(column(rs, func(r [numCellMetrics]float64) float64 { return r[cellMedian] })),
 			counting.LogD(scd.N, scd.D),
-			stats.Mean(column(rs, func(r res) float64 { return r.msgs })))
-	}
-	t.Notes = append(t.Notes,
-		"bounded_frac uses the CONGEST band [0.5*log_d n, 2*log_d n + 2]; interpret it per protocol",
-		"each cell's randomness is the pure sub-seed of its label: adding or removing cells never perturbs the others")
-	if skipped > 0 {
-		t.Notes = append(t.Notes,
-			fmt.Sprintf("%d cells of the requested cross-product were skipped as incompatible axis combinations", skipped))
+			stats.Mean(column(rs, func(r [numCellMetrics]float64) float64 { return r[cellMsgs] })))
 	}
 	return t, nil
 }

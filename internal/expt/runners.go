@@ -60,6 +60,11 @@ type engineOpts struct {
 	// which needs at least one TickDriven proc.
 	tickSkip    bool
 	tickSkipSet bool
+	// done, when non-nil, cancels the run cooperatively: the engine polls
+	// it each round and aborts with sim.ErrCanceled when it closes. The
+	// durable sweep driver uses it for per-cell timeouts and SIGTERM
+	// drains.
+	done <-chan struct{}
 }
 
 // runProtocolFracPar is runProtocolFrac with explicit engine options
@@ -89,6 +94,9 @@ func runProtocolOnEngine(eng *sim.Engine, n int, byz []bool, honestProc, byzProc
 	}
 	if eo.fault != nil {
 		eng.SetFaultModel(eo.fault)
+	}
+	if eo.done != nil {
+		eng.SetCancel(eo.done)
 	}
 	eng.SetParallelism(max(eo.workers, 1))
 	procs := make([]sim.Proc, n)

@@ -14,6 +14,7 @@ package expt
 // are E16-E18.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -537,6 +538,13 @@ type RunOptions struct {
 	// error rather than a silent no-op. It is an execution-shape option,
 	// not a Scenario axis, for exactly that transcript-equality reason.
 	TickSkip *bool
+	// Context, when non-nil, cancels the run cooperatively: the engine
+	// polls ctx.Done() every round and aborts with sim.ErrCanceled once
+	// it is closed. Cancellation is an execution-shape option by the same
+	// argument as Workers — a run that completes does so bit-identically
+	// with or without a context; one that is canceled returns an error,
+	// never a partial result.
+	Context context.Context
 }
 
 // RunScenario executes one scenario cell. rng is the cell's root random
@@ -565,6 +573,9 @@ func RunScenario(sc Scenario, rng *xrand.Rand, opts RunOptions) (*ScenarioOutcom
 	// Validate parsed these already; nil models (empty specs) keep the
 	// synchronous engine.
 	eo := engineOpts{workers: opts.Workers}
+	if opts.Context != nil {
+		eo.done = opts.Context.Done()
+	}
 	eo.delay, _ = sim.ParseDelayModel(sc.Delay)
 	eo.fault, _ = sim.ParseFaultModel(sc.Fault)
 	if opts.TickSkip != nil {
@@ -755,6 +766,9 @@ func runScenarioChurn(sc Scenario, ctx *scenarioCtx, proto Protocol, adv Adversa
 	initial = false
 	run.SetLeaveHook(roster.OnLeave)
 	run.SetParallelism(max(eo.workers, 1))
+	if eo.done != nil {
+		run.Engine().SetCancel(eo.done)
+	}
 	if eo.delay != nil {
 		run.SetDelayModel(eo.delay)
 	}

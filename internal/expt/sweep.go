@@ -10,7 +10,9 @@ package expt
 // every table byte-identical across -parallel 1 and -parallel N.
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"byzcount/internal/xrand"
 )
@@ -22,6 +24,23 @@ import (
 // On failure the first error in (row, trial) order is returned.
 func sweepRows[P, R any](cfg Config, root *xrand.Rand, rows []P,
 	label func(P) string, fn func(row P, trial int, rng *xrand.Rand) (R, error)) ([][]R, error) {
+	return sweepRowsCtx(context.Background(), cfg, root, rows, label,
+		func(_ context.Context, row P, trial int, rng *xrand.Rand) (R, error) {
+			return fn(row, trial, rng)
+		})
+}
+
+// sweepRowsCtx is sweepRows with two additions the durable sweep path
+// needs: a context that stops the grid between cells (cells already
+// launched run to completion; their engines observe the context
+// separately), and fail-fast scheduling — once any cell records an
+// error, cells that have not started yet are skipped instead of
+// burning the rest of the grid's compute on a run whose result will be
+// discarded anyway. Completed cells keep their results either way, and
+// the error returned is still the first in deterministic (row, trial)
+// order among the cells that ran.
+func sweepRowsCtx[P, R any](ctx context.Context, cfg Config, root *xrand.Rand, rows []P,
+	label func(P) string, fn func(ctx context.Context, row P, trial int, rng *xrand.Rand) (R, error)) ([][]R, error) {
 	trials := cfg.trials()
 	results := make([][]R, len(rows))
 	errs := make([][]error, len(rows))
@@ -30,6 +49,7 @@ func sweepRows[P, R any](cfg Config, root *xrand.Rand, rows []P,
 		errs[i] = make([]error, trials)
 	}
 	sem := make(chan struct{}, cfg.parallel())
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for i := range rows {
 		for t := 0; t < trials; t++ {
@@ -38,8 +58,19 @@ func sweepRows[P, R any](cfg Config, root *xrand.Rand, rows []P,
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
+				// Checked after acquiring the slot, not before: the goroutines
+				// all exist from the start, so the slot is the scheduling
+				// point — a cell that gets a slot after a failure (or
+				// cancellation) is a cell that would otherwise start fresh
+				// work.
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
 				rng := root.SplitN(label(rows[i]), t)
-				results[i][t], errs[i][t] = fn(rows[i], t, rng)
+				results[i][t], errs[i][t] = fn(ctx, rows[i], t, rng)
+				if errs[i][t] != nil {
+					failed.Store(true)
+				}
 			}(i, t)
 		}
 	}
@@ -50,6 +81,9 @@ func sweepRows[P, R any](cfg Config, root *xrand.Rand, rows []P,
 				return nil, err
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

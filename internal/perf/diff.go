@@ -30,12 +30,43 @@ type DiffReport struct {
 	// Tolerance is the relative slowdown allowed before an entry
 	// counts as a regression (0.5 = up to 1.5x the old ns/op).
 	Tolerance float64
+	// Overrides maps workload names to per-workload tolerances that
+	// replace Tolerance where they match. A key ending in '*' is a
+	// prefix pattern ("engine/vt-*"); exact keys win over patterns, and
+	// among patterns the longest prefix wins. This is how CI holds
+	// noisy sub-microsecond workloads to a loose gate while pinning the
+	// stable hot paths tight.
+	Overrides map[string]float64
+}
+
+// ToleranceFor resolves the tolerance applied to one workload name.
+func (r *DiffReport) ToleranceFor(name string) float64 {
+	if tol, ok := r.Overrides[name]; ok {
+		return tol
+	}
+	best, bestLen := r.Tolerance, -1
+	for pat, tol := range r.Overrides {
+		if !strings.HasSuffix(pat, "*") {
+			continue
+		}
+		prefix := pat[:len(pat)-1]
+		if strings.HasPrefix(name, prefix) && len(prefix) > bestLen {
+			best, bestLen = tol, len(prefix)
+		}
+	}
+	return best
 }
 
 // DiffRecords compares two records. Workloads are matched by name;
 // tolerance is the allowed relative slowdown on ns/op.
 func DiffRecords(old, cur *Record, tolerance float64) *DiffReport {
-	rep := &DiffReport{Tolerance: tolerance}
+	return DiffRecordsOverrides(old, cur, tolerance, nil)
+}
+
+// DiffRecordsOverrides is DiffRecords with per-workload tolerance
+// overrides (see DiffReport.Overrides for matching rules).
+func DiffRecordsOverrides(old, cur *Record, tolerance float64, overrides map[string]float64) *DiffReport {
+	rep := &DiffReport{Tolerance: tolerance, Overrides: overrides}
 	oldByName := make(map[string]*Result, len(old.Results))
 	for i := range old.Results {
 		oldByName[old.Results[i].Name] = &old.Results[i]
@@ -71,12 +102,12 @@ func (e DiffEntry) Regressed(tolerance float64) bool {
 	return e.Ratio > 1+tolerance
 }
 
-// Regressions returns the common entries that slowed past the
-// tolerance, worst first.
+// Regressions returns the common entries that slowed past their
+// (possibly overridden) tolerance, worst first.
 func (r *DiffReport) Regressions() []DiffEntry {
 	var out []DiffEntry
 	for _, e := range r.Common {
-		if e.Regressed(r.Tolerance) {
+		if e.Regressed(r.ToleranceFor(e.Name)) {
 			out = append(out, e)
 		}
 	}
@@ -91,8 +122,12 @@ func (r *DiffReport) Render() string {
 	fmt.Fprintf(&sb, "%-44s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
 	for _, e := range r.Common {
 		flag := ""
-		if e.Regressed(r.Tolerance) {
+		tol := r.ToleranceFor(e.Name)
+		if e.Regressed(tol) {
 			flag = "  REGRESSED"
+		}
+		if tol != r.Tolerance {
+			flag += fmt.Sprintf("  (tol %.2g)", tol)
 		}
 		fmt.Fprintf(&sb, "%-44s %14.0f %14.0f %7.2fx%s\n", e.Name, e.OldNs, e.NewNs, e.Ratio, flag)
 	}
@@ -108,6 +143,11 @@ func (r *DiffReport) Render() string {
 // Diff reads two BENCH.json files and compares them; the convenience
 // wrapper the CLI calls.
 func Diff(oldPath, newPath string, tolerance float64) (*DiffReport, error) {
+	return DiffOverrides(oldPath, newPath, tolerance, nil)
+}
+
+// DiffOverrides is Diff with per-workload tolerance overrides.
+func DiffOverrides(oldPath, newPath string, tolerance float64, overrides map[string]float64) (*DiffReport, error) {
 	old, err := ReadFile(oldPath)
 	if err != nil {
 		return nil, err
@@ -116,5 +156,20 @@ func Diff(oldPath, newPath string, tolerance float64) (*DiffReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return DiffRecords(old, cur, tolerance), nil
+	return DiffRecordsOverrides(old, cur, tolerance, overrides), nil
+}
+
+// ParseOverride parses one "name=tol" or "prefix*=tol" spec (the CLI's
+// repeatable -tolerance-override flag) into the overrides map.
+func ParseOverride(overrides map[string]float64, spec string) error {
+	name, val, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("perf: bad tolerance override %q (want name=tol or prefix*=tol)", spec)
+	}
+	var tol float64
+	if _, err := fmt.Sscanf(val, "%g", &tol); err != nil || tol < 0 {
+		return fmt.Errorf("perf: bad tolerance in override %q", spec)
+	}
+	overrides[name] = tol
+	return nil
 }

@@ -96,6 +96,56 @@ func TestDiffFiles(t *testing.T) {
 	}
 }
 
+func TestDiffOverrides(t *testing.T) {
+	old := mkRecord("engine/vt-skip", 100.0, "engine/flood", 100.0, "expt/E1", 100.0)
+	cur := mkRecord("engine/vt-skip", 250.0, "engine/flood", 250.0, "expt/E1", 250.0)
+	rep := DiffRecordsOverrides(old, cur, 2.0, map[string]float64{
+		"engine/vt-skip": 5.0, // exact: loosened, 2.5x passes
+		"expt/*":         0.5, // prefix: tightened, 2.5x fails
+	})
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Name != "expt/E1" {
+		t.Fatalf("Regressions() = %v, want just expt/E1 (tightened by prefix override)", regs)
+	}
+	if tol := rep.ToleranceFor("engine/flood"); tol != 2.0 {
+		t.Errorf("unmatched workload tolerance = %v, want the global 2.0", tol)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "(tol 5)") {
+		t.Errorf("Render() does not show the overridden tolerance:\n%s", out)
+	}
+}
+
+func TestDiffOverridePrecedence(t *testing.T) {
+	rep := &DiffReport{Tolerance: 1.0, Overrides: map[string]float64{
+		"engine/*":    2.0,
+		"engine/vt-*": 3.0,
+		"engine/vt-a": 4.0,
+	}}
+	for name, want := range map[string]float64{
+		"engine/vt-a": 4.0, // exact beats every pattern
+		"engine/vt-b": 3.0, // longest prefix wins
+		"engine/x":    2.0,
+		"graph/x":     1.0, // no match: global
+	} {
+		if got := rep.ToleranceFor(name); got != want {
+			t.Errorf("ToleranceFor(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestParseOverride(t *testing.T) {
+	ov := map[string]float64{}
+	if err := ParseOverride(ov, "engine/vt-*=3.5"); err != nil || ov["engine/vt-*"] != 3.5 {
+		t.Errorf("ParseOverride: %v %v", ov, err)
+	}
+	for _, bad := range []string{"noequals", "=2", "a=notnum", "a=-1"} {
+		if err := ParseOverride(ov, bad); err == nil {
+			t.Errorf("ParseOverride(%q) accepted", bad)
+		}
+	}
+}
+
 func TestScalingSuiteShape(t *testing.T) {
 	quick := ScalingSuite(ScalingConfig{Quick: true})
 	if want := 2 * len(ScalingSizes(true)) * len(ScalingWorkers); len(quick) != want {

@@ -135,7 +135,7 @@ func (b Benchmark) Measure() (Result, error) {
 
 // NewRecord returns a Record with the environment provenance filled in.
 func NewRecord(quick bool) *Record {
-	sha, dirty := gitState()
+	sha, dirty := GitState()
 	return &Record{
 		Schema:     Schema,
 		GitSHA:     sha,
@@ -150,10 +150,11 @@ func NewRecord(quick bool) *Record {
 	}
 }
 
-// gitState reports the checked-out commit and whether the tree is dirty.
-// Outside a git checkout (or without git) it falls back to the
-// GITHUB_SHA environment variable, then to "unknown".
-func gitState() (string, bool) {
+// GitState reports the checked-out commit and whether the tree is
+// dirty. Outside a git checkout (or without git) it falls back to the
+// GITHUB_SHA environment variable, then to "unknown". Exported because
+// the sweep manifest records the same provenance.
+func GitState() (string, bool) {
 	sha := "unknown"
 	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
 		sha = strings.TrimSpace(string(out))

@@ -1,0 +1,39 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// JSONL writes machine-readable report lines: one compact JSON object
+// per line, the grep/jq-friendly dual of the human tables. The sweep
+// summary emitter streams through it so a summary's memory cost is one
+// row, never the whole grid.
+type JSONL struct {
+	enc *json.Encoder
+}
+
+// NewJSONL returns an emitter writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one value as a single JSON line.
+func (j *JSONL) Emit(v any) error { return j.enc.Encode(v) }
+
+// SafeFloat returns f when JSON can carry it, and the strings "NaN",
+// "+Inf", "-Inf" otherwise — encoding/json rejects non-finite float64s
+// outright, and a summary row with no decided trials legitimately has
+// a NaN quantile.
+func SafeFloat(f float64) any {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	}
+	return f
+}

@@ -1,0 +1,49 @@
+package report
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestJSONLEmit(t *testing.T) {
+	var sb strings.Builder
+	j := NewJSONL(&sb)
+	if err := j.Emit(map[string]any{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Emit(map[string]any{"b": SafeFloat(math.NaN())}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("emitted %d lines, want 2: %q", len(lines), sb.String())
+	}
+	for i, line := range lines {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Errorf("line %d not valid JSON: %v", i, err)
+		}
+	}
+	if lines[1] != `{"b":"NaN"}` {
+		t.Errorf("NaN line = %q", lines[1])
+	}
+}
+
+func TestSafeFloat(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want any
+	}{
+		{1.5, 1.5},
+		{0, 0.0},
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+	} {
+		if got := SafeFloat(tc.in); got != tc.want {
+			t.Errorf("SafeFloat(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -401,6 +401,13 @@ type Engine struct {
 	// ends the run early (used for "all honest nodes decided" detection).
 	stop func(round int) bool
 
+	// cancel, if non-nil, is polled at the top of every round; a closed
+	// channel aborts the run with ErrCanceled. This is the cooperative
+	// escape hatch for pure-CPU runs: a per-cell timeout or a SIGTERM
+	// drain cannot preempt a round, but it never has to wait for more
+	// than one.
+	cancel <-chan struct{}
+
 	// edgeCapBits, when positive, enforces the CONGEST model's bandwidth
 	// restriction: a sender may push at most this many payload bits over
 	// one edge per round; excess messages on that edge are dropped and
@@ -552,6 +559,12 @@ var ErrSizeMismatch = errors.New("sim: process count does not match vertex count
 // supported slowly — run such scenarios serially (the serial
 // virtual-time engine handles Sequential processes fine).
 var ErrSequentialVirtualTime = errors.New("sim: Sequential processes require serial execution under virtual time")
+
+// ErrCanceled is returned by Run when the channel installed with
+// SetCancel closes mid-run. The engine stops on a round boundary, so
+// metrics and transcripts cover exactly the rounds executed; the run's
+// results are partial and should be discarded, not interpreted.
+var ErrCanceled = errors.New("sim: run canceled")
 
 // newStaticEngine builds the engine over a static graph. Node IDs and
 // per-node random streams derive from seed; vertex v's stream is
@@ -971,6 +984,13 @@ func (e *Engine) refreshVertex(v int) {
 // SetStopCondition installs a predicate evaluated after each round; the
 // run ends early once it returns true.
 func (e *Engine) SetStopCondition(stop func(round int) bool) { e.stop = stop }
+
+// SetCancel installs a cancellation channel polled once per round:
+// when done is closed, Run returns ErrCanceled at the next round
+// boundary. nil (the default) disables the check. Unlike a stop
+// condition, cancellation is an abort, not a result — Run reports the
+// error so callers cannot mistake a partial run for a completed one.
+func (e *Engine) SetCancel(done <-chan struct{}) { e.cancel = done }
 
 // SetEdgeCapacity switches the engine from the LOCAL model (unbounded
 // messages, the default) to the CONGEST model: at most bits payload bits
@@ -1805,6 +1825,13 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 	}
 	defer e.stopPool()
 	for r := 0; r < maxRounds; r++ {
+		if e.cancel != nil {
+			select {
+			case <-e.cancel:
+				return r, ErrCanceled
+			default:
+			}
+		}
 		if e.topo != nil {
 			e.curEpoch = e.topo.Epoch()
 		}
